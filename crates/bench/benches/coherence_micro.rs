@@ -1,0 +1,71 @@
+//! Microbenchmarks of the Berkeley coherence state machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spasm_cache::{AccessKind, CacheConfig, CoherenceController};
+
+fn bench_access_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence");
+    group.sample_size(40);
+
+    // Hot loop of hits: the common case on cached machines.
+    group.bench_function("read_hits", |b| {
+        let mut cc = CoherenceController::new(4, CacheConfig::paper());
+        cc.access(0, 100, AccessKind::Read);
+        b.iter(|| cc.access(0, 100, AccessKind::Read));
+    });
+
+    // Ping-pong: two writers alternating on one block (upgrade + miss
+    // traffic every access).
+    group.bench_function("write_ping_pong", |b| {
+        let mut cc = CoherenceController::new(2, CacheConfig::paper());
+        let mut turn = 0usize;
+        b.iter(|| {
+            turn ^= 1;
+            cc.access(turn, 100, AccessKind::Write)
+        });
+    });
+
+    // Invalidation fan-out width.
+    for sharers in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("upgrade_fanout", sharers),
+            &sharers,
+            |b, &sharers| {
+                b.iter_batched(
+                    || {
+                        let mut cc = CoherenceController::new(64, CacheConfig::paper());
+                        for s in 1..=sharers {
+                            cc.access(s, 100, AccessKind::Read);
+                        }
+                        cc.access(0, 100, AccessKind::Read);
+                        cc
+                    },
+                    |mut cc| cc.access(0, 100, AccessKind::Write),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    // Capacity-miss streaming through a small cache.
+    group.bench_function("streaming_evictions", |b| {
+        let mut cc = CoherenceController::new(
+            1,
+            CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                block_bytes: 32,
+            },
+        );
+        let mut block = 0u64;
+        b.iter(|| {
+            block += 1;
+            cc.access(0, block % 4096, AccessKind::Write)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_patterns);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! figures --all [--size test|small|full] [--procs 2,4,8,16,32]
+//!         [--seed N] [--csv PATH]
+//! figures --figure F13 [...]
+//! figures --list
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use spasm_apps::SizeClass;
+use spasm_bench::{parse_procs, parse_size};
+use spasm_core::figures::{self, FigureSpec};
+use spasm_core::sweep::run_figure;
+
+struct Args {
+    figures: Vec<&'static FigureSpec>,
+    size: SizeClass,
+    procs: Vec<usize>,
+    seed: u64,
+    csv: Option<String>,
+    chart: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures (--all | --figure ID | --list | --ablation g|protocol|cache) \
+         [--size test|small|full] \
+         [--procs 2,4,...] [--seed N] [--csv PATH] [--chart]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figures: Vec::new(),
+        size: SizeClass::Small,
+        procs: figures::PROC_SWEEP.to_vec(),
+        seed: 1995,
+        csv: None,
+        chart: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--all" => args.figures = figures::FIGURES.iter().collect(),
+            "--figure" => {
+                let id = it.next().unwrap_or_else(|| usage());
+                match figures::by_id(&id) {
+                    Some(spec) => args.figures.push(spec),
+                    None => {
+                        eprintln!("unknown figure {id}; try --list");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--list" => {
+                for f in figures::FIGURES {
+                    println!(
+                        "{:>3}  {:8} {:4} {:24} {}",
+                        f.id,
+                        f.app.to_string(),
+                        f.net.to_string(),
+                        f.metric.to_string(),
+                        f.expect
+                    );
+                }
+                std::process::exit(0);
+            }
+            "--size" => {
+                args.size = parse_size(&it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
+            "--procs" => {
+                args.procs = parse_procs(&it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
+            "--chart" => args.chart = true,
+            "--ablation" => {
+                let which = it.next().unwrap_or_else(|| usage());
+                run_ablation(&which);
+                std::process::exit(0);
+            }
+            _ => usage(),
+        }
+    }
+    if args.figures.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// Runs one of the extension studies (EXPERIMENTS.md A2–A4) and prints
+/// its table.
+fn run_ablation(which: &str) {
+    use spasm_apps::AppId;
+    use spasm_core::ablation;
+    use spasm_core::Net;
+
+    match which {
+        "g" => {
+            println!("A2: traffic-aware g on the 8-processor mesh (test size)\n");
+            println!(
+                "{:>9} {:>9} {:>12} {:>12} {:>12}",
+                "app", "crossing", "target (us)", "naive (us)", "aware (us)"
+            );
+            for app in AppId::ALL {
+                let s = ablation::traffic_aware_g(app, SizeClass::Test, Net::Mesh, 8, 1995)
+                    .expect("verified runs");
+                println!(
+                    "{:>9} {:>8.0}% {:>12.1} {:>12.1} {:>12.1}",
+                    app.to_string(),
+                    100.0 * s.crossing_fraction,
+                    s.target.contention_us,
+                    s.naive.contention_us,
+                    s.aware.contention_us,
+                );
+            }
+        }
+        "protocol" => {
+            println!("A3: coherence-protocol sensitivity on the target (full, p=8)\n");
+            println!(
+                "{:>9} {:>14} {:>18} {:>8}",
+                "app", "berkeley (us)", "wb-on-read (us)", "gap"
+            );
+            for app in AppId::ALL {
+                let s = ablation::protocol_sensitivity(app, SizeClass::Test, Net::Full, 8, 1995)
+                    .expect("verified runs");
+                println!(
+                    "{:>9} {:>14.1} {:>18.1} {:>7.1}%",
+                    app.to_string(),
+                    s.berkeley.exec_us,
+                    s.write_back_on_read.exec_us,
+                    100.0 * s.exec_gap(),
+                );
+            }
+        }
+        "cache" => {
+            println!("A4: cache working-set sweep on the target (full, p=8)\n");
+            print!("{:>9}", "app");
+            for &cap in ablation::CACHE_SWEEP {
+                print!(" {:>9}KiB", cap / 1024);
+            }
+            println!();
+            for app in AppId::ALL {
+                let points = ablation::cache_working_set(
+                    app,
+                    SizeClass::Test,
+                    Net::Full,
+                    8,
+                    1995,
+                    ablation::CACHE_SWEEP,
+                )
+                .expect("verified runs");
+                print!("{:>9}", app.to_string());
+                for p in points {
+                    print!(" {:>12.1}", p.metrics.exec_us);
+                }
+                println!();
+            }
+            println!("\n(cells: execution time in us)");
+        }
+        _ => {
+            eprintln!("unknown ablation {which}; expected g | protocol | cache");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut csv = String::from("figure,app,net,metric,procs,machine,value\n");
+    for spec in &args.figures {
+        let started = std::time::Instant::now();
+        match run_figure(spec, args.size, &args.procs, args.seed) {
+            Ok(data) => {
+                println!("{}", data.render_table());
+                if args.chart {
+                    println!("{}", data.render_chart(12));
+                }
+                println!("  [swept in {:.1?}]\n", started.elapsed());
+                // Append all but the shared header line.
+                for line in data.to_csv().lines().skip(1) {
+                    csv.push_str(line);
+                    csv.push('\n');
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: FAILED: {e}", spec.id);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = args.csv {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

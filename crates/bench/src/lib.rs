@@ -1,0 +1,52 @@
+//! # spasm-bench — benchmarks and the figure-regeneration harness
+//!
+//! * the `figures` binary (`cargo run -p spasm-bench --release --bin
+//!   figures -- --all`) regenerates the data behind every figure of the
+//!   paper's evaluation section as aligned tables and CSV;
+//! * the Criterion benches (`cargo bench`) measure the simulator itself:
+//!   network message cost per topology, coherence transaction cost, and —
+//!   reproducing the paper's §7 "Speed of Simulation" — the wall-clock
+//!   cost of simulating each machine characterization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use spasm_apps::SizeClass;
+
+/// Parses a size-class name.
+pub fn parse_size(s: &str) -> Option<SizeClass> {
+    match s {
+        "test" => Some(SizeClass::Test),
+        "small" => Some(SizeClass::Small),
+        "full" => Some(SizeClass::Full),
+        _ => None,
+    }
+}
+
+/// Parses a comma-separated processor list.
+pub fn parse_procs(s: &str) -> Option<Vec<usize>> {
+    s.split(',')
+        .map(|t| t.trim().parse::<usize>().ok().filter(|p| p.is_power_of_two()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size("test"), Some(SizeClass::Test));
+        assert_eq!(parse_size("small"), Some(SizeClass::Small));
+        assert_eq!(parse_size("full"), Some(SizeClass::Full));
+        assert_eq!(parse_size("huge"), None);
+    }
+
+    #[test]
+    fn procs_parsing() {
+        assert_eq!(parse_procs("2,4,8"), Some(vec![2, 4, 8]));
+        assert_eq!(parse_procs("2, 16"), Some(vec![2, 16]));
+        assert_eq!(parse_procs("3"), None); // not a power of two
+        assert_eq!(parse_procs("2,x"), None);
+    }
+}

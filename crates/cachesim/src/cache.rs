@@ -1,0 +1,321 @@
+//! Set-associative cache array with LRU replacement.
+
+use crate::BState;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's §5 configuration: 64 KB, 2-way, 32-byte blocks.
+    pub const fn paper() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            block_bytes: 32,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// set count, or capacity not divisible by `assoc × block`).
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.assoc > 0 && self.block_bytes > 0);
+        let per_way = self.size_bytes / (self.assoc * self.block_bytes);
+        assert!(
+            per_way * self.assoc * self.block_bytes == self.size_bytes,
+            "capacity must divide evenly into ways x blocks"
+        );
+        assert!(per_way.is_power_of_two(), "set count must be a power of two");
+        per_way
+    }
+}
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block number of the victim.
+    pub block: u64,
+    /// State the victim held; owners must be written back.
+    pub state: BState,
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Valid lines displaced by insertions.
+    pub evictions: u64,
+    /// Lines removed by external invalidation.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: u64,
+    state: BState,
+    stamp: u64,
+}
+
+/// A set-associative cache indexed by block number.
+///
+/// The cache stores *states only* — simulated data values live in the
+/// machine's value store, so the cache answers "is this block resident and
+/// with what rights", which is all the timing models need.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    assoc: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            set_mask: (sets - 1) as u64,
+            assoc: config.assoc,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, block: u64) -> usize {
+        (block & self.set_mask) as usize
+    }
+
+    /// Looks up `block`, refreshing its LRU position. Counts a hit or miss.
+    pub fn lookup(&mut self, block: u64) -> Option<BState> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(block);
+        for line in &mut self.sets[set] {
+            if line.block == block {
+                line.stamp = clock;
+                self.stats.hits += 1;
+                return Some(line.state);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Looks up `block` without touching LRU or statistics.
+    pub fn peek(&self, block: u64) -> Option<BState> {
+        let set = self.set_of(block);
+        self.sets[set]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.state)
+    }
+
+    /// Changes the state of a resident block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident — a protocol logic error.
+    pub fn set_state(&mut self, block: u64, state: BState) {
+        let set = self.set_of(block);
+        let line = self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .unwrap_or_else(|| panic!("set_state on non-resident block {block}"));
+        line.state = state;
+    }
+
+    /// Inserts `block` with `state`, evicting the LRU line if the set is
+    /// full. Returns the victim, whose owners must be written back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already resident (use [`Cache::set_state`]).
+    pub fn insert(&mut self, block: u64, state: BState) -> Option<Evicted> {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.assoc;
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        assert!(
+            set.iter().all(|l| l.block != block),
+            "insert of already-resident block {block}"
+        );
+        let new_line = Line {
+            block,
+            state,
+            stamp: clock,
+        };
+        if set.len() < assoc {
+            set.push(new_line);
+            return None;
+        }
+        // Evict the least recently used line.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.stamp)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        let victim = set[victim_idx];
+        set[victim_idx] = new_line;
+        self.stats.evictions += 1;
+        Some(Evicted {
+            block: victim.block,
+            state: victim.state,
+        })
+    }
+
+    /// Removes `block` (external invalidation). Returns the state it held.
+    pub fn invalidate(&mut self, block: u64) -> Option<BState> {
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            let line = set.swap_remove(pos);
+            self.stats.invalidations += 1;
+            Some(line.state)
+        } else {
+            None
+        }
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident lines (for tests and occupancy reporting).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 32B blocks = 128 B.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            block_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn paper_config_geometry() {
+        assert_eq!(CacheConfig::paper().sets(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        CacheConfig {
+            size_bytes: 96,
+            assoc: 1,
+            block_bytes: 32,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(4), None);
+        c.insert(4, BState::Valid);
+        assert_eq!(c.lookup(4), Some(BState::Valid));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (even blocks).
+        c.insert(0, BState::Valid);
+        c.insert(2, BState::Dirty);
+        c.lookup(0); // 0 now more recent than 2
+        let ev = c.insert(4, BState::Valid).expect("eviction");
+        assert_eq!(ev.block, 2);
+        assert_eq!(ev.state, BState::Dirty);
+        assert_eq!(c.peek(0), Some(BState::Valid));
+        assert_eq!(c.peek(2), None);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.insert(0, BState::Valid); // set 0
+        c.insert(1, BState::Valid); // set 1
+        c.insert(2, BState::Valid); // set 0
+        c.insert(3, BState::Valid); // set 1
+        assert!(c.insert(5, BState::Valid).is_some()); // set 1 full
+        assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = tiny();
+        c.insert(8, BState::Valid);
+        c.set_state(8, BState::Dirty);
+        assert_eq!(c.peek(8), Some(BState::Dirty));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_missing_panics() {
+        tiny().set_state(9, BState::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(8, BState::Valid);
+        c.insert(8, BState::Valid);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = tiny();
+        c.insert(8, BState::SharedDirty);
+        assert_eq!(c.invalidate(8), Some(BState::SharedDirty));
+        assert_eq!(c.invalidate(8), None);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru() {
+        let mut c = tiny();
+        c.insert(0, BState::Valid);
+        c.insert(2, BState::Valid);
+        c.peek(0); // must NOT refresh 0
+        let ev = c.insert(4, BState::Valid).unwrap();
+        assert_eq!(ev.block, 0); // 0 was still LRU
+    }
+
+    #[test]
+    fn owned_states() {
+        assert!(!BState::Valid.is_owned());
+        assert!(BState::SharedDirty.is_owned());
+        assert!(BState::Dirty.is_owned());
+    }
+}

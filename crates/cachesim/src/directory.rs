@@ -1,0 +1,163 @@
+//! Fully-mapped directory state.
+
+use std::collections::HashMap;
+
+/// One block's directory entry: a full-map presence set plus the Berkeley
+/// owner (the cache responsible for supplying data and writing back).
+///
+/// The presence set is a bit set over node ids, which bounds the system at
+/// 64 processors — comfortably above the paper's 32-processor sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    sharers: u64,
+    owner: Option<usize>,
+}
+
+impl DirEntry {
+    /// Nodes currently holding the block (including the owner).
+    pub fn sharers(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.sharers;
+        (0..64).filter(move |i| bits & (1 << i) != 0)
+    }
+
+    /// Whether `node` holds a copy.
+    pub fn is_sharer(&self, node: usize) -> bool {
+        self.sharers & (1 << node) != 0
+    }
+
+    /// Number of nodes holding the block.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// The owning cache, if any cache owns the block.
+    pub fn owner(&self) -> Option<usize> {
+        self.owner
+    }
+
+    /// Marks `node` as holding a copy.
+    pub fn add_sharer(&mut self, node: usize) {
+        assert!(node < 64, "directory presence set supports up to 64 nodes");
+        self.sharers |= 1 << node;
+    }
+
+    /// Clears `node`'s presence (and ownership if it was the owner).
+    pub fn remove_sharer(&mut self, node: usize) {
+        self.sharers &= !(1 << node);
+        if self.owner == Some(node) {
+            self.owner = None;
+        }
+    }
+
+    /// Transfers ownership to `node` (which must be a sharer).
+    pub fn set_owner(&mut self, node: Option<usize>) {
+        if let Some(n) = node {
+            assert!(self.is_sharer(n), "owner must hold the block");
+        }
+        self.owner = node;
+    }
+
+    /// True when no cache holds the block (memory is the only copy).
+    pub fn is_uncached(&self) -> bool {
+        self.sharers == 0
+    }
+}
+
+/// The directory: block number → [`DirEntry`].
+///
+/// Physically the directory is distributed across homes; which node is the
+/// home of a block is an addressing question the machine layer answers, so
+/// this type is just the (sparse) state map.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The entry for `block`, creating an empty one on first touch.
+    pub fn entry(&mut self, block: u64) -> &mut DirEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    /// Read-only view of the entry for `block`, if it was ever touched.
+    pub fn get(&self, block: u64) -> Option<&DirEntry> {
+        self.entries.get(&block)
+    }
+
+    /// Number of blocks with directory state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no block has directory state.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_entry_is_uncached() {
+        let mut d = Directory::new();
+        assert!(d.entry(7).is_uncached());
+        assert_eq!(d.entry(7).owner(), None);
+    }
+
+    #[test]
+    fn sharers_roundtrip() {
+        let mut e = DirEntry::default();
+        e.add_sharer(3);
+        e.add_sharer(5);
+        assert!(e.is_sharer(3));
+        assert!(!e.is_sharer(4));
+        assert_eq!(e.sharers().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(e.sharer_count(), 2);
+        e.remove_sharer(3);
+        assert!(!e.is_sharer(3));
+    }
+
+    #[test]
+    fn owner_cleared_when_removed() {
+        let mut e = DirEntry::default();
+        e.add_sharer(2);
+        e.set_owner(Some(2));
+        assert_eq!(e.owner(), Some(2));
+        e.remove_sharer(2);
+        assert_eq!(e.owner(), None);
+        assert!(e.is_uncached());
+    }
+
+    #[test]
+    #[should_panic(expected = "owner must hold")]
+    fn owner_must_be_sharer() {
+        let mut e = DirEntry::default();
+        e.set_owner(Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 64 nodes")]
+    fn presence_set_bound() {
+        let mut e = DirEntry::default();
+        e.add_sharer(64);
+    }
+
+    #[test]
+    fn directory_len_tracks_touched_blocks() {
+        let mut d = Directory::new();
+        assert!(d.is_empty());
+        d.entry(1).add_sharer(0);
+        d.entry(2).add_sharer(0);
+        d.entry(1).add_sharer(1);
+        assert_eq!(d.len(), 2);
+        assert!(d.get(3).is_none());
+        assert!(d.get(1).unwrap().is_sharer(1));
+    }
+}

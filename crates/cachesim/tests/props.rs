@@ -1,0 +1,123 @@
+//! Property-based tests: the Berkeley protocol invariants hold under
+//! arbitrary access interleavings.
+
+use proptest::prelude::*;
+use spasm_cache::{AccessKind, BState, CacheConfig, CoherenceController};
+
+#[derive(Debug, Clone)]
+struct Op {
+    node: usize,
+    block: u64,
+    write: bool,
+}
+
+fn arb_ops(p: usize, blocks: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..p, 0..blocks, any::<bool>()).prop_map(|(node, block, write)| Op { node, block, write }),
+        0..200,
+    )
+}
+
+fn small_cc(p: usize) -> CoherenceController {
+    CoherenceController::new(
+        p,
+        CacheConfig {
+            size_bytes: 256, // 4 sets x 2 ways: evictions happen
+            assoc: 2,
+            block_bytes: 32,
+        },
+    )
+}
+
+/// Checks the protocol's global invariants.
+fn check_invariants(cc: &CoherenceController, blocks: u64) {
+    for block in 0..blocks {
+        let holders: Vec<usize> = (0..cc.nodes())
+            .filter(|&n| cc.cache(n).peek(block).is_some())
+            .collect();
+        let entry = cc.directory().get(block).copied().unwrap_or_default();
+        // 1. Directory presence equals actual residency.
+        let dir_sharers: Vec<usize> = entry.sharers().collect();
+        assert_eq!(holders, dir_sharers, "presence mismatch for block {block}");
+        // 2. At most one owned copy, and the directory knows who owns it.
+        let owners: Vec<usize> = holders
+            .iter()
+            .copied()
+            .filter(|&n| cc.cache(n).peek(block).unwrap().is_owned())
+            .collect();
+        assert!(owners.len() <= 1, "multiple owners of block {block}");
+        assert_eq!(entry.owner(), owners.first().copied());
+        // 3. A Dirty copy is exclusive.
+        for &n in &holders {
+            if cc.cache(n).peek(block) == Some(BState::Dirty) {
+                assert_eq!(holders.len(), 1, "Dirty block {block} is shared");
+            }
+        }
+        // 4. Non-owner copies are Valid.
+        for &n in &holders {
+            if entry.owner() != Some(n) {
+                assert_eq!(cc.cache(n).peek(block), Some(BState::Valid));
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn berkeley_invariants_hold(ops in arb_ops(4, 16)) {
+        let mut cc = small_cc(4);
+        for op in &ops {
+            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            cc.access(op.node, op.block, kind);
+        }
+        check_invariants(&cc, 16);
+    }
+
+    /// After any history, a write by node n leaves n as the exclusive
+    /// Dirty owner.
+    #[test]
+    fn write_always_ends_exclusive(ops in arb_ops(4, 16), node in 0usize..4, block in 0u64..16) {
+        let mut cc = small_cc(4);
+        for op in &ops {
+            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            cc.access(op.node, op.block, kind);
+        }
+        cc.access(node, block, AccessKind::Write);
+        assert_eq!(cc.cache(node).peek(block), Some(BState::Dirty));
+        assert_eq!(cc.directory().get(block).unwrap().owner(), Some(node));
+        for other in 0..4 {
+            if other != node {
+                assert_eq!(cc.cache(other).peek(block), None);
+            }
+        }
+    }
+
+    /// The controller is deterministic: identical histories give identical
+    /// outcomes.
+    #[test]
+    fn controller_deterministic(ops in arb_ops(4, 16)) {
+        let mut a = small_cc(4);
+        let mut b = small_cc(4);
+        for op in &ops {
+            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            prop_assert_eq!(a.access(op.node, op.block, kind), b.access(op.node, op.block, kind));
+        }
+    }
+
+    /// Hits never lie: an access reported Hit leaves every other node's
+    /// state untouched (no hidden invalidations).
+    #[test]
+    fn hits_are_local(ops in arb_ops(3, 8), node in 0usize..3, block in 0u64..8) {
+        let mut cc = small_cc(3);
+        for op in &ops {
+            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            cc.access(op.node, op.block, kind);
+        }
+        let before: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
+        let outcome = cc.access(node, block, AccessKind::Read);
+        if outcome == spasm_cache::Outcome::Hit {
+            let after: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+}

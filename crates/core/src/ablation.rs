@@ -1,0 +1,306 @@
+//! Ablations of the paper's design choices (§7 "Discussion").
+//!
+//! The paper identifies the g parameter's derivation as the abstraction's
+//! weak point: "Since g is computed using only the bisection bandwidth of
+//! the network …, it fails to capture any communication locality resulting
+//! from mapping the application on to a specific network topology", and
+//! suggests "we need to incorporate application characteristics in
+//! computing g" — e.g. by maintaining a history of the execution.
+//!
+//! [`traffic_aware_g`] implements that suggestion: run the target once,
+//! measure the fraction `f` of messages that actually cross the bisection,
+//! and re-derive `g' = g·f` (the bisection formula implicitly assumes
+//! `f = 1`). The study reports how much of the contention pessimism the
+//! corrected estimate removes.
+
+use spasm_apps::{AppId, SizeClass};
+use spasm_machine::MachineConfig;
+
+use crate::{Experiment, ExperimentError, Machine, Net, RunMetrics};
+
+/// Results of the traffic-aware-g study for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GStudy {
+    /// The target machine's run (source of the measured locality).
+    pub target: RunMetrics,
+    /// CLogP with the paper's bisection-bandwidth g.
+    pub naive: RunMetrics,
+    /// CLogP with g scaled by the measured crossing fraction.
+    pub aware: RunMetrics,
+    /// The measured fraction of bisection-crossing messages.
+    pub crossing_fraction: f64,
+}
+
+impl GStudy {
+    /// Contention error (µs) of the naive estimate vs the target.
+    pub fn naive_error(&self) -> f64 {
+        (self.naive.contention_us - self.target.contention_us).abs()
+    }
+
+    /// Contention error (µs) of the traffic-aware estimate vs the target.
+    pub fn aware_error(&self) -> f64 {
+        (self.aware.contention_us - self.target.contention_us).abs()
+    }
+}
+
+/// Runs the traffic-aware-g study: target (measurement) + CLogP with the
+/// naive and corrected g.
+///
+/// # Errors
+///
+/// Propagates the first failed or unverified simulation.
+pub fn traffic_aware_g(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+) -> Result<GStudy, ExperimentError> {
+    let base = Experiment {
+        app,
+        size,
+        net,
+        machine: Machine::Target,
+        procs,
+        seed,
+    };
+    let target = base.run()?;
+    let crossing_fraction = target.crossing_fraction;
+
+    let clogp = Experiment {
+        machine: Machine::CLogP,
+        ..base
+    };
+    let naive = clogp.run()?;
+    let aware = clogp.run_with_config(MachineConfig {
+        g_scale: crossing_fraction,
+        ..MachineConfig::default()
+    })?;
+    Ok(GStudy {
+        target,
+        naive,
+        aware,
+        crossing_fraction,
+    })
+}
+
+/// One point of the cache working-set curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePoint {
+    /// Cache capacity in bytes.
+    pub size_bytes: usize,
+    /// Metrics of the target-machine run at this capacity.
+    pub metrics: RunMetrics,
+}
+
+/// Sweeps the target machine's cache capacity for one application — the
+/// working-set study of Rothberg/Singh/Gupta (ISCA 1993) that the paper's
+/// §2 cites for the claim that "a small-sized cache of around 64KB can
+/// accommodate the important working set of many applications".
+///
+/// Associativity (2) and block size (32 B) stay at the paper's values;
+/// capacities must keep a power-of-two set count.
+///
+/// # Errors
+///
+/// Propagates the first failed or unverified simulation.
+pub fn cache_working_set(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+    capacities: &[usize],
+) -> Result<Vec<CachePoint>, ExperimentError> {
+    let base = Experiment {
+        app,
+        size,
+        net,
+        machine: Machine::Target,
+        procs,
+        seed,
+    };
+    capacities
+        .iter()
+        .map(|&size_bytes| {
+            let mut config = MachineConfig::default();
+            config.cache.size_bytes = size_bytes;
+            let metrics = base.run_with_config(config)?;
+            Ok(CachePoint {
+                size_bytes,
+                metrics,
+            })
+        })
+        .collect()
+}
+
+/// The capacity sweep used by the working-set example and bench: 1 KB to
+/// 256 KB around the paper's 64 KB operating point.
+pub const CACHE_SWEEP: &[usize] = &[1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10];
+
+/// Target-machine runs under both coherence protocols.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolStudy {
+    /// Berkeley (the paper's protocol).
+    pub berkeley: RunMetrics,
+    /// Write-back-on-read ("memory-clean").
+    pub write_back_on_read: RunMetrics,
+}
+
+impl ProtocolStudy {
+    /// Relative execution-time difference between the protocols.
+    pub fn exec_gap(&self) -> f64 {
+        (self.write_back_on_read.exec_us - self.berkeley.exec_us).abs() / self.berkeley.exec_us
+    }
+}
+
+/// Runs one application under both coherence protocols on the target —
+/// the Wood et al. (ISCA 1993) observation the paper leans on: application
+/// performance "is not very sensitive to different cache coherence
+/// protocols", which licenses abstracting the protocol away entirely in
+/// CLogP.
+///
+/// # Errors
+///
+/// Propagates the first failed or unverified simulation.
+pub fn protocol_sensitivity(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+) -> Result<ProtocolStudy, ExperimentError> {
+    let base = Experiment {
+        app,
+        size,
+        net,
+        machine: Machine::Target,
+        procs,
+        seed,
+    };
+    let berkeley = base.run()?;
+    let write_back_on_read = base.run_with_config(MachineConfig {
+        protocol: spasm_cache::ProtocolKind::WriteBackOnRead,
+        ..MachineConfig::default()
+    })?;
+    Ok(ProtocolStudy {
+        berkeley,
+        write_back_on_read,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_fraction_is_a_fraction() {
+        let s = traffic_aware_g(AppId::Fft, SizeClass::Test, Net::Mesh, 8, 3).unwrap();
+        assert!((0.0..=1.0).contains(&s.crossing_fraction));
+        // FFT's butterfly partners are mostly nearby once the high stages
+        // pass; a meaningful share of traffic must stay local.
+        assert!(s.crossing_fraction < 1.0);
+    }
+
+    #[test]
+    fn aware_g_reduces_contention_estimate() {
+        let s = traffic_aware_g(AppId::Fft, SizeClass::Test, Net::Mesh, 8, 3).unwrap();
+        assert!(
+            s.aware.contention_us < s.naive.contention_us,
+            "scaling g by measured locality must lower contention: {} vs {}",
+            s.aware.contention_us,
+            s.naive.contention_us
+        );
+    }
+
+    #[test]
+    fn working_set_curve_is_monotone_then_flat() {
+        let points =
+            cache_working_set(AppId::Cg, SizeClass::Test, Net::Full, 4, 3, CACHE_SWEEP).unwrap();
+        // Larger caches never hurt (no pathological thrash in this suite).
+        for w in points.windows(2) {
+            assert!(
+                w[1].metrics.exec_us <= w[0].metrics.exec_us * 1.02,
+                "exec time must not grow with capacity: {:?} -> {:?}",
+                w[0].size_bytes,
+                w[1].size_bytes
+            );
+        }
+        // And the curve flattens by 64 KB: the paper-cited working-set
+        // claim. 64KB -> 256KB buys < 5%.
+        let at_64k = points.iter().find(|p| p.size_bytes == 64 << 10).unwrap();
+        let at_256k = points.iter().find(|p| p.size_bytes == 256 << 10).unwrap();
+        assert!(at_256k.metrics.exec_us >= at_64k.metrics.exec_us * 0.95);
+    }
+
+    #[test]
+    fn tiny_cache_generates_more_traffic_and_time() {
+        // FFT re-reads its own chunk every stage, so a 1 KB cache thrashes.
+        // (IS and CG show the *opposite* message trend — bigger caches keep
+        // more shared copies alive, so writes invalidate more — which is
+        // why this asserts on FFT and on time, not on a universal rule.)
+        let points = cache_working_set(
+            AppId::Fft,
+            SizeClass::Test,
+            Net::Full,
+            8,
+            1995,
+            &[1 << 10, 64 << 10],
+        )
+        .unwrap();
+        assert!(
+            points[0].metrics.messages > points[1].metrics.messages,
+            "1KB cache should miss more than 64KB: {} vs {}",
+            points[0].metrics.messages,
+            points[1].metrics.messages
+        );
+        assert!(points[0].metrics.exec_us > points[1].metrics.exec_us);
+    }
+
+    #[test]
+    fn protocol_choice_barely_matters() {
+        // Wood et al.'s claim, tested on all five applications: the two
+        // protocols' execution times differ by well under the gap between
+        // machine characterizations.
+        for app in AppId::ALL {
+            let s = protocol_sensitivity(app, SizeClass::Test, Net::Full, 4, 1995).unwrap();
+            assert!(
+                s.exec_gap() < 0.20,
+                "{app}: protocols diverge by {:.0}% ({:.0}us vs {:.0}us)",
+                100.0 * s.exec_gap(),
+                s.berkeley.exec_us,
+                s.write_back_on_read.exec_us
+            );
+        }
+    }
+
+    #[test]
+    fn protocols_are_genuinely_different_yet_close() {
+        // The two protocols produce *different* traffic (downgrade
+        // writebacks trade against avoided victim writebacks) but stay
+        // within a narrow band — the substance of the insensitivity claim.
+        let s = protocol_sensitivity(AppId::Cg, SizeClass::Test, Net::Full, 4, 1995).unwrap();
+        assert_ne!(
+            (s.berkeley.messages, s.berkeley.bytes),
+            (s.write_back_on_read.messages, s.write_back_on_read.bytes),
+            "protocol switch must change the traffic mix"
+        );
+        let ratio = s.write_back_on_read.bytes as f64 / s.berkeley.bytes as f64;
+        assert!((0.8..=1.25).contains(&ratio), "byte ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn aware_g_is_closer_to_target_for_local_apps() {
+        // The correction targets apps with communication locality on
+        // low-connectivity networks — exactly where the paper found the
+        // naive g most pessimistic.
+        let s = traffic_aware_g(AppId::Fft, SizeClass::Test, Net::Mesh, 8, 3).unwrap();
+        assert!(
+            s.aware_error() < s.naive_error(),
+            "aware {:.1}us vs naive {:.1}us (target {:.1}us)",
+            s.aware.contention_us,
+            s.naive.contention_us,
+            s.target.contention_us
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! One simulation experiment: configuration, execution, metrics.
+
+use std::fmt;
+use std::time::Duration;
+
+use spasm_apps::{AppId, SizeClass};
+use spasm_logp::GapPolicy;
+use spasm_machine::{Engine, MachineConfig, MachineKind, RunError, SetupCtx};
+use spasm_topology::{Topology, TopologyKind};
+
+/// Network selection for an experiment (mirrors `TopologyKind`, with the
+/// paper's names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Net {
+    /// Fully connected.
+    Full,
+    /// Binary hypercube.
+    Cube,
+    /// 2-D mesh.
+    Mesh,
+}
+
+impl Net {
+    /// All three networks.
+    pub const ALL: [Net; 3] = [Net::Full, Net::Cube, Net::Mesh];
+
+    /// The corresponding topology kind.
+    pub fn kind(self) -> TopologyKind {
+        match self {
+            Net::Full => TopologyKind::Full,
+            Net::Cube => TopologyKind::Hypercube,
+            Net::Mesh => TopologyKind::Mesh2D,
+        }
+    }
+
+    /// Parses "full" / "cube" / "mesh".
+    pub fn from_name(name: &str) -> Option<Net> {
+        match name {
+            "full" => Some(Net::Full),
+            "cube" => Some(Net::Cube),
+            "mesh" => Some(Net::Mesh),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Net::Full => "full",
+            Net::Cube => "cube",
+            Net::Mesh => "mesh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine characterization for an experiment, including the A1 ablation
+/// variant (CLogP with the per-event-type gap of the paper's §7
+/// experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// Ideal PRAM (SPASM's ideal time).
+    Pram,
+    /// The CC-NUMA target.
+    Target,
+    /// LogP without caches.
+    LogP,
+    /// LogP with the ideal coherent cache.
+    CLogP,
+    /// CLogP, gap enforced only between identical event kinds (§7).
+    CLogPPerEventGap,
+}
+
+impl Machine {
+    /// The underlying machine kind.
+    pub fn kind(self) -> MachineKind {
+        match self {
+            Machine::Pram => MachineKind::Pram,
+            Machine::Target => MachineKind::Target,
+            Machine::LogP => MachineKind::LogP,
+            Machine::CLogP | Machine::CLogPPerEventGap => MachineKind::CLogP,
+        }
+    }
+
+    /// The machine configuration (gap policy etc.).
+    pub fn config(self) -> MachineConfig {
+        let mut c = MachineConfig::default();
+        if self == Machine::CLogPPerEventGap {
+            c.gap_policy = GapPolicy::PerEventType;
+        }
+        c
+    }
+
+    /// Parses the display name.
+    pub fn from_name(name: &str) -> Option<Machine> {
+        match name {
+            "pram" => Some(Machine::Pram),
+            "target" => Some(Machine::Target),
+            "logp" => Some(Machine::LogP),
+            "clogp" => Some(Machine::CLogP),
+            "clogp-pet" => Some(Machine::CLogPPerEventGap),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Machine::Pram => "pram",
+            Machine::Target => "target",
+            Machine::LogP => "logp",
+            Machine::CLogP => "clogp",
+            Machine::CLogPPerEventGap => "clogp-pet",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully specified simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Which application.
+    pub app: AppId,
+    /// Problem-size preset.
+    pub size: SizeClass,
+    /// Interconnect.
+    pub net: Net,
+    /// Machine characterization.
+    pub machine: Machine,
+    /// Processor count (power of two).
+    pub procs: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Why an experiment failed.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The simulation itself failed (panic or deadlock).
+    Run(RunError),
+    /// The simulation completed but produced a wrong answer.
+    Verify(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Run(e) => write!(f, "simulation failed: {e}"),
+            ExperimentError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// The measurements of one run, in the units the paper's figures use.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMetrics {
+    /// Execution time (max over processors), µs.
+    pub exec_us: f64,
+    /// Mean per-processor latency overhead, µs.
+    pub latency_us: f64,
+    /// Mean per-processor contention overhead, µs.
+    pub contention_us: f64,
+    /// Mean per-processor synchronization spin time, µs.
+    pub sync_us: f64,
+    /// Mean per-processor home-directory wait, µs (target only).
+    pub dir_wait_us: f64,
+    /// Network messages.
+    pub messages: u64,
+    /// Network bytes.
+    pub bytes: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Fraction of network messages that crossed the bisection (target
+    /// machine only; 0 on the abstracted machines).
+    pub crossing_fraction: f64,
+    /// Host wall-clock time of the simulation.
+    pub wall: Duration,
+}
+
+impl Experiment {
+    /// Runs the experiment: build, simulate, verify, extract metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Run`] if the simulation panics or deadlocks;
+    /// [`ExperimentError::Verify`] if the application's verifier rejects
+    /// the result.
+    pub fn run(&self) -> Result<RunMetrics, ExperimentError> {
+        self.run_with_config(self.machine.config())
+    }
+
+    /// Runs the experiment with an explicit machine configuration — used
+    /// by the ablations (gap policy, scaled g).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`].
+    pub fn run_with_config(&self, config: MachineConfig) -> Result<RunMetrics, ExperimentError> {
+        let topo = Topology::of_kind(self.net.kind(), self.procs);
+        let mut setup = SetupCtx::new(self.procs);
+        let app = self.app.instantiate(self.size);
+        let built = app.build(&mut setup, self.seed);
+        let mut engine = Engine::with_config(
+            self.machine.kind(),
+            &topo,
+            config,
+            setup,
+            built.bodies,
+        );
+        let report = engine.run().map_err(ExperimentError::Run)?;
+        (built.verify)(&report.final_store).map_err(ExperimentError::Verify)?;
+        let p = report.procs() as f64;
+        Ok(RunMetrics {
+            exec_us: report.exec_time_us(),
+            latency_us: report.latency_overhead_us(),
+            contention_us: report.contention_overhead_us(),
+            sync_us: report.totals.sync.as_us_f64() / p,
+            dir_wait_us: report.totals.dir_wait.as_us_f64() / p,
+            messages: report.summary.net_messages,
+            bytes: report.summary.net_bytes,
+            events: report.events,
+            crossing_fraction: report.summary.crossing_fraction(),
+            wall: report.wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrips() {
+        for net in Net::ALL {
+            assert_eq!(Net::from_name(&net.to_string()), Some(net));
+        }
+        for m in [
+            Machine::Pram,
+            Machine::Target,
+            Machine::LogP,
+            Machine::CLogP,
+            Machine::CLogPPerEventGap,
+        ] {
+            assert_eq!(Machine::from_name(&m.to_string()), Some(m));
+        }
+        assert_eq!(Net::from_name("ring"), None);
+        assert_eq!(Machine::from_name("bsp"), None);
+    }
+
+    #[test]
+    fn experiment_runs_and_verifies() {
+        let m = Experiment {
+            app: AppId::Is,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine: Machine::Target,
+            procs: 4,
+            seed: 3,
+        }
+        .run()
+        .unwrap();
+        assert!(m.exec_us > 0.0);
+        assert!(m.messages > 0);
+        assert!(m.events > 0);
+    }
+
+    #[test]
+    fn pram_has_no_traffic() {
+        let m = Experiment {
+            app: AppId::Ep,
+            size: SizeClass::Test,
+            net: Net::Full,
+            machine: Machine::Pram,
+            procs: 2,
+            seed: 3,
+        }
+        .run()
+        .unwrap();
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.latency_us, 0.0);
+    }
+
+    #[test]
+    fn per_event_gap_reduces_contention() {
+        let base = Experiment {
+            app: AppId::Fft,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine: Machine::CLogP,
+            procs: 4,
+            seed: 3,
+        };
+        let unified = base.run().unwrap();
+        let pet = Experiment {
+            machine: Machine::CLogPPerEventGap,
+            ..base
+        }
+        .run()
+        .unwrap();
+        assert!(
+            pet.contention_us < unified.contention_us,
+            "per-event-type gap must lower contention: {} vs {}",
+            pet.contention_us,
+            unified.contention_us
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # spasm-core — the SPASM experiment framework
+//!
+//! The paper's contribution, packaged as a library: run any of the five
+//! applications on any of the four machine characterizations over any of
+//! the three networks, separate the overheads SPASM-style, and regenerate
+//! every figure of the evaluation section.
+//!
+//! * [`Experiment`] — one (application, machine, network, processor-count)
+//!   simulation with verification, producing [`RunMetrics`];
+//! * [`figures`] — the declarative specs for Figures 1–20 plus the §7
+//!   simulation-speed study (S1) and the gap-policy ablation (A1);
+//! * [`sweep`] — drives a figure's processor sweep across its series and
+//!   renders aligned tables / CSV.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_core::{Experiment, Machine, Net};
+//! use spasm_apps::{AppId, SizeClass};
+//!
+//! let metrics = Experiment {
+//!     app: AppId::Fft,
+//!     size: SizeClass::Test,
+//!     net: Net::Full,
+//!     machine: Machine::CLogP,
+//!     procs: 4,
+//!     seed: 7,
+//! }
+//! .run()
+//! .unwrap();
+//! assert!(metrics.exec_us > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+mod experiment;
+pub mod figures;
+pub mod sweep;
+
+pub use experiment::{Experiment, ExperimentError, Machine, Net, RunMetrics};

@@ -1,0 +1,269 @@
+//! Processor sweeps over a figure's series, with table/CSV rendering.
+
+use spasm_apps::SizeClass;
+
+use crate::figures::{FigureSpec, Metric};
+use crate::{Experiment, ExperimentError, Machine, RunMetrics};
+
+/// One figure's regenerated data: `values[series][point]` aligned with
+/// `procs[point]`.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// The figure this data regenerates.
+    pub spec: FigureSpec,
+    /// Processor counts swept.
+    pub procs: Vec<usize>,
+    /// Series, in `spec.machines` order.
+    pub series: Vec<Series>,
+}
+
+/// One machine's curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// The machine simulated.
+    pub machine: Machine,
+    /// The plotted metric at each processor count.
+    pub values: Vec<f64>,
+    /// Full metrics (for secondary analysis).
+    pub metrics: Vec<RunMetrics>,
+}
+
+/// Extracts a figure's plotted metric from run metrics.
+pub fn extract(metric: Metric, m: &RunMetrics) -> f64 {
+    match metric {
+        Metric::Latency => m.latency_us,
+        Metric::Contention => m.contention_us,
+        Metric::ExecTime => m.exec_us,
+        Metric::SimSpeed => m.wall.as_secs_f64() * 1e3,
+        Metric::Events => m.events as f64,
+    }
+}
+
+/// Runs the full processor sweep for one figure.
+///
+/// # Errors
+///
+/// Propagates the first simulation or verification failure.
+pub fn run_figure(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+) -> Result<FigureData, ExperimentError> {
+    let mut series = Vec::with_capacity(spec.machines.len());
+    for &machine in spec.machines {
+        let mut values = Vec::with_capacity(procs.len());
+        let mut metrics = Vec::with_capacity(procs.len());
+        for &p in procs {
+            let m = Experiment {
+                app: spec.app,
+                size,
+                net: spec.net,
+                machine,
+                procs: p,
+                seed,
+            }
+            .run()?;
+            values.push(extract(spec.metric, &m));
+            metrics.push(m);
+        }
+        series.push(Series {
+            machine,
+            values,
+            metrics,
+        });
+    }
+    Ok(FigureData {
+        spec: *spec,
+        procs: procs.to_vec(),
+        series,
+    })
+}
+
+impl FigureData {
+    /// Renders the figure as an aligned text table (the harness's
+    /// stand-in for the paper's plots).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}: {} on {} — {}\n  expect: {}\n",
+            self.spec.id, self.spec.app, self.spec.net, self.spec.metric, self.spec.expect
+        ));
+        out.push_str(&format!("  {:>6}", "procs"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>14}", s.machine.to_string()));
+        }
+        out.push('\n');
+        for (i, &p) in self.procs.iter().enumerate() {
+            out.push_str(&format!("  {p:>6}"));
+            for s in &self.series {
+                out.push_str(&format!(" {:>14.2}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the figure as CSV (`figure,app,net,metric,procs,series,value`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,app,net,metric,procs,machine,value\n");
+        for s in &self.series {
+            for (i, &p) in self.procs.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{},{},{:?},{},{},{}\n",
+                    self.spec.id, self.spec.app, self.spec.net, self.spec.metric, p, s.machine,
+                    s.values[i]
+                ));
+            }
+        }
+        out
+    }
+
+    /// The series for `machine`, if present.
+    pub fn series_for(&self, machine: Machine) -> Option<&Series> {
+        self.series.iter().find(|s| s.machine == machine)
+    }
+
+    /// Renders the figure as an ASCII chart (the closest a terminal gets
+    /// to the paper's plots): y is the metric on a linear scale from zero
+    /// to the maximum observed value, x is the processor sweep, one glyph
+    /// per series.
+    ///
+    /// Intended for eyeballing curve *shapes*; exact values are in
+    /// [`FigureData::render_table`].
+    pub fn render_chart(&self, height: usize) -> String {
+        const GLYPHS: [char; 5] = ['T', 'L', 'C', 'P', 'G'];
+        let height = height.max(4);
+        let max = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .fold(0.0f64, f64::max);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}: {} on {} — {} (0..{max:.0})\n",
+            self.spec.id, self.spec.app, self.spec.net, self.spec.metric
+        ));
+        if max <= 0.0 {
+            out.push_str("  (all values zero)\n");
+            return out;
+        }
+        // Column per sweep point, 6 chars wide.
+        let col_w = 7;
+        let mut grid = vec![vec![' '; self.procs.len() * col_w]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (pi, &v) in s.values.iter().enumerate() {
+                let row = ((v / max) * (height - 1) as f64).round() as usize;
+                let r = height - 1 - row.min(height - 1);
+                let c = pi * col_w + col_w / 2;
+                // Overlapping points show the later series' glyph with a
+                // '*' marker to flag the collision.
+                grid[r][c] = if grid[r][c] == ' ' { glyph } else { '*' };
+            }
+        }
+        for row in grid {
+            out.push_str("  |");
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(self.procs.len() * col_w));
+        out.push('\n');
+        out.push_str("   ");
+        for &p in &self.procs {
+            out.push_str(&format!("{p:^col_w$}"));
+        }
+        out.push('\n');
+        out.push_str("  key:");
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(" {}={}", GLYPHS[si % GLYPHS.len()], s.machine));
+        }
+        out.push_str("  (*=overlap)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use spasm_apps::AppId;
+    use crate::Net;
+
+    #[test]
+    fn small_sweep_produces_aligned_data() {
+        let spec = figures::by_id("F1").unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5).unwrap();
+        assert_eq!(data.procs, vec![2, 4]);
+        assert_eq!(data.series.len(), 3);
+        for s in &data.series {
+            assert_eq!(s.values.len(), 2);
+            assert!(s.values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let spec = figures::by_id("F12").unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2], 5).unwrap();
+        let table = data.render_table();
+        assert!(table.contains("F12"));
+        assert!(table.contains("target"));
+        let csv = data.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3); // header + 3 series x 1 p
+        assert!(csv.contains("F12,ep,full"));
+    }
+
+    #[test]
+    fn chart_renders_axes_key_and_points() {
+        let spec = figures::by_id("F12").unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5).unwrap();
+        let chart = data.render_chart(8);
+        assert!(chart.contains("F12"));
+        assert!(chart.contains("T=target"));
+        assert!(chart.contains("L=logp"));
+        // Axis row lists the sweep points.
+        assert!(chart.contains('2') && chart.contains('4'));
+        // Max point must sit on the top row of the plot area.
+        let plot_rows: Vec<&str> = chart.lines().filter(|l| l.starts_with("  |")).collect();
+        assert_eq!(plot_rows.len(), 8);
+        assert!(
+            plot_rows[0].chars().any(|c| c != ' ' && c != '|'),
+            "top row should carry the maximum: {chart}"
+        );
+    }
+
+    #[test]
+    fn chart_handles_all_zero_series() {
+        let spec = figures::FigureSpec {
+            id: "Z",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::Contention,
+            machines: &[Machine::Pram],
+            expect: "zeros",
+        };
+        let data = run_figure(&spec, SizeClass::Test, &[2], 1).unwrap();
+        assert!(data.render_chart(6).contains("all values zero"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let spec = figures::FigureSpec {
+            id: "T",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::ExecTime,
+            machines: &[Machine::Pram, Machine::Target],
+            expect: "test",
+        };
+        let data = run_figure(&spec, SizeClass::Test, &[2], 1).unwrap();
+        assert!(data.series_for(Machine::Pram).is_some());
+        assert!(data.series_for(Machine::LogP).is_none());
+        // PRAM is the ideal-time floor.
+        let pram = data.series_for(Machine::Pram).unwrap().values[0];
+        let target = data.series_for(Machine::Target).unwrap().values[0];
+        assert!(pram <= target);
+    }
+}

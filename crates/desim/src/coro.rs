@@ -1,0 +1,410 @@
+//! Simulation processes as OS-thread coroutines.
+//!
+//! The paper's SPASM simulator is *execution-driven*: application code
+//! actually executes, and only operations that may touch the network are
+//! simulated. We reproduce that structure by running each simulated
+//! processor's program as a real OS thread that **rendezvouses** with the
+//! single-threaded simulator:
+//!
+//! * exactly one process thread is runnable at any instant — the simulator
+//!   resumes a process by sending it a response, then blocks until that
+//!   process either issues its next request or finishes;
+//! * consequently the interleaving of processes is chosen entirely by the
+//!   simulator's event queue, and simulations are fully deterministic;
+//! * application code is ordinary blocking Rust: control flow may depend on
+//!   values computed from shared data (dynamic task queues, sparse
+//!   structures), which is exactly what makes execution-driven simulation
+//!   more faithful than trace-driven simulation.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Identifier of a simulated processor / simulation process.
+pub type ProcId = usize;
+
+/// What a resumed process did with its time slice.
+#[derive(Debug)]
+pub enum Step<Q> {
+    /// The process issued a request and is blocked awaiting the response.
+    Request(Q),
+    /// The process's body returned normally.
+    Done,
+    /// The process's body panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+enum Envelope<Q> {
+    Request(ProcId, Q),
+    Done(ProcId),
+    Panicked(ProcId, String),
+}
+
+/// The process-side handle used to issue simulation requests.
+///
+/// Passed to each process body; [`CoroCtx::call`] blocks the process (in
+/// real time) until the simulator responds (in simulated time).
+#[derive(Debug)]
+pub struct CoroCtx<Q, R> {
+    me: ProcId,
+    tx: SyncSender<Envelope<Q>>,
+    rx: Receiver<R>,
+}
+
+impl<Q, R> CoroCtx<Q, R> {
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.me
+    }
+
+    /// Issues `req` to the simulator and blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds (terminating the process body) if the simulator has shut
+    /// down. [`CoroPool`]'s drop handler triggers exactly this to unwind
+    /// any still-blocked process threads; the unwind uses
+    /// [`std::panic::resume_unwind`] with a private `Shutdown` token, so
+    /// it never reaches the global panic hook (no spurious backtraces) and
+    /// is caught silently by the pool's thread wrapper.
+    pub fn call(&self, req: Q) -> R {
+        if self.tx.send(Envelope::Request(self.me, req)).is_err() {
+            std::panic::resume_unwind(Box::new(Shutdown));
+        }
+        match self.rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => std::panic::resume_unwind(Box::new(Shutdown)),
+        }
+    }
+}
+
+/// Private unwind token for simulator-initiated shutdown of a blocked
+/// process thread. Not a real panic: bypasses the panic hook.
+struct Shutdown;
+
+#[derive(Debug)]
+struct ProcSlot<R> {
+    tx: SyncSender<R>,
+    handle: Option<JoinHandle<()>>,
+    live: bool,
+}
+
+/// A pool of simulation processes in rendezvous with the simulator.
+///
+/// Type parameters: `Q` is the request type processes send to the
+/// simulator; `R` is the response type the simulator sends back.
+///
+/// # Protocol
+///
+/// Each process starts parked. The simulator calls [`CoroPool::resume`] with
+/// a response value; the process runs until it issues its next request via
+/// [`CoroCtx::call`] (returned as [`Step::Request`]), returns
+/// ([`Step::Done`]) or panics ([`Step::Panicked`]). The very first `resume`
+/// of a process delivers its "start" response.
+///
+/// # Example
+///
+/// ```
+/// use spasm_desim::{CoroPool, Step};
+///
+/// // Processes that ask the simulator to double numbers.
+/// let mut pool: CoroPool<u64, u64> = CoroPool::new(2, |id, ctx| {
+///     let doubled = ctx.call(id as u64 + 1);
+///     assert_eq!(doubled, (id as u64 + 1) * 2);
+/// });
+/// for p in 0..2 {
+///     // First resume: the "start" value is ignored by `call`-side code.
+///     let req = match pool.resume(p, 0) {
+///         Step::Request(q) => q,
+///         other => panic!("expected request, got {other:?}"),
+///     };
+///     assert!(matches!(pool.resume(p, req * 2), Step::Done));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CoroPool<Q, R> {
+    slots: Vec<ProcSlot<R>>,
+    rx: Receiver<Envelope<Q>>,
+}
+
+impl<Q, R> CoroPool<Q, R>
+where
+    Q: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawns `n` process threads, each running `body(proc_id, ctx)`.
+    ///
+    /// Processes are parked until their first [`CoroPool::resume`].
+    pub fn new<F>(n: usize, body: F) -> Self
+    where
+        F: Fn(ProcId, &CoroCtx<Q, R>) + Send + Sync + Clone + 'static,
+    {
+        Self::from_bodies((0..n).map(|_| body.clone()).collect::<Vec<_>>())
+    }
+
+    /// Spawns one process per element of `bodies`.
+    ///
+    /// Unlike [`CoroPool::new`], each process can have a distinct body
+    /// (closure), which is how per-processor application kernels are built.
+    pub fn from_bodies<F>(bodies: Vec<F>) -> Self
+    where
+        F: FnOnce(ProcId, &CoroCtx<Q, R>) + Send + 'static,
+    {
+        let (env_tx, env_rx) = sync_channel::<Envelope<Q>>(bodies.len().max(1));
+        let mut slots = Vec::with_capacity(bodies.len());
+        for (id, body) in bodies.into_iter().enumerate() {
+            // Rendezvous channel: the process blocks until resumed.
+            let (resp_tx, resp_rx) = sync_channel::<R>(1);
+            let env_tx = env_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-proc-{id}"))
+                .spawn(move || {
+                    // Park until the simulator's first resume.
+                    let Ok(_start) = resp_rx.recv() else {
+                        return; // simulator dropped before starting us
+                    };
+                    let ctx = CoroCtx {
+                        me: id,
+                        tx: env_tx.clone(),
+                        rx: resp_rx,
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| body(id, &ctx)));
+                    // If the simulator is gone these sends fail; that is the
+                    // normal shutdown path and the error is ignored.
+                    let _ = match result {
+                        Ok(()) => env_tx.send(Envelope::Done(id)),
+                        Err(payload) => {
+                            // Teardown-induced unwinds (simulator dropped
+                            // the response channel mid-call) are normal
+                            // shutdown, not application panics.
+                            if payload.is::<Shutdown>() {
+                                return;
+                            }
+                            let msg = panic_message(payload.as_ref());
+                            env_tx.send(Envelope::Panicked(id, msg))
+                        }
+                    };
+                })
+                .expect("spawn simulation process thread");
+            slots.push(ProcSlot {
+                tx: resp_tx,
+                handle: Some(handle),
+                live: true,
+            });
+        }
+        CoroPool { slots, rx: env_rx }
+    }
+
+    /// Number of processes in the pool.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the pool has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resumes process `proc` with response `resp` and waits for its next
+    /// action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` already finished (resuming a dead process is a
+    /// simulator logic error) or if the process thread vanished without
+    /// reporting (should be impossible).
+    pub fn resume(&mut self, proc: ProcId, resp: R) -> Step<Q> {
+        let slot = &mut self.slots[proc];
+        assert!(slot.live, "resumed process {proc} after it finished");
+        slot.tx.send(resp).expect("process thread vanished");
+        // Only `proc` is runnable, so the next envelope must be from it.
+        match self.rx.recv().expect("process thread vanished") {
+            Envelope::Request(p, q) => {
+                debug_assert_eq!(p, proc, "request from unexpected process");
+                Step::Request(q)
+            }
+            Envelope::Done(p) => {
+                debug_assert_eq!(p, proc);
+                self.retire(proc);
+                Step::Done
+            }
+            Envelope::Panicked(p, msg) => {
+                debug_assert_eq!(p, proc);
+                self.retire(proc);
+                Step::Panicked(msg)
+            }
+        }
+    }
+
+    fn retire(&mut self, proc: ProcId) {
+        let slot = &mut self.slots[proc];
+        slot.live = false;
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Returns `true` if `proc` has not yet finished.
+    pub fn is_live(&self, proc: ProcId) -> bool {
+        self.slots[proc].live
+    }
+}
+
+impl<Q, R> Drop for CoroPool<Q, R> {
+    fn drop(&mut self) {
+        // Unblock any process still parked in `call`: dropping the response
+        // sender makes its recv fail, which unwinds the body thread.
+        for slot in &mut self.slots {
+            // Replace the sender with a dead one by dropping ours.
+            let (dead_tx, _dead_rx) = sync_channel::<R>(1);
+            let real_tx = std::mem::replace(&mut slot.tx, dead_tx);
+            drop(real_tx);
+            if let Some(h) = slot.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop, clippy::type_complexity)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_request_response_cycle() {
+        let mut pool: CoroPool<u32, u32> = CoroPool::new(1, |_, ctx| {
+            let a = ctx.call(10);
+            let b = ctx.call(a + 1);
+            assert_eq!(b, 22);
+        });
+        let q = match pool.resume(0, 0) {
+            Step::Request(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q, 10);
+        let q = match pool.resume(0, 11) {
+            Step::Request(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q, 12);
+        assert!(matches!(pool.resume(0, 22), Step::Done));
+        assert!(!pool.is_live(0));
+    }
+
+    #[test]
+    fn many_processes_interleave_deterministically() {
+        let n = 8;
+        let mut pool: CoroPool<usize, usize> = CoroPool::new(n, |id, ctx| {
+            for round in 0..3 {
+                let echoed = ctx.call(id * 100 + round);
+                assert_eq!(echoed, id * 100 + round);
+            }
+        });
+        // Drive round-robin; every request must come from the resumed proc.
+        let mut pending: Vec<Option<usize>> = vec![None; n];
+        for p in 0..n {
+            if let Step::Request(q) = pool.resume(p, 0) {
+                pending[p] = Some(q);
+            }
+        }
+        let mut done = 0;
+        while done < n {
+            done = 0;
+            for p in 0..n {
+                if let Some(q) = pending[p].take() { match pool.resume(p, q) {
+                    Step::Request(q2) => pending[p] = Some(q2),
+                    Step::Done => {}
+                    Step::Panicked(m) => panic!("{m}"),
+                } }
+                if !pool.is_live(p) {
+                    done += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_bodies_per_process() {
+        let bodies: Vec<Box<dyn FnOnce(ProcId, &CoroCtx<u32, u32>) + Send>> = vec![
+            Box::new(|_, ctx| {
+                ctx.call(1);
+            }),
+            Box::new(|_, ctx| {
+                ctx.call(2);
+            }),
+        ];
+        let mut pool = CoroPool::from_bodies(bodies);
+        match pool.resume(0, 0) {
+            Step::Request(1) => {}
+            other => panic!("{other:?}"),
+        }
+        match pool.resume(1, 0) {
+            Step::Request(2) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(pool.resume(0, 0), Step::Done));
+        assert!(matches!(pool.resume(1, 0), Step::Done));
+    }
+
+    #[test]
+    fn panicking_body_is_reported_not_propagated() {
+        let mut pool: CoroPool<u32, u32> = CoroPool::new(1, |_, _| {
+            panic!("deliberate test panic");
+        });
+        match pool.resume(0, 0) {
+            Step::Panicked(msg) => assert!(msg.contains("deliberate test panic")),
+            other => panic!("{other:?}"),
+        }
+        assert!(!pool.is_live(0));
+    }
+
+    #[test]
+    fn body_returning_without_requests_is_done_immediately() {
+        let mut pool: CoroPool<u32, u32> = CoroPool::new(1, |_, _| {});
+        assert!(matches!(pool.resume(0, 0), Step::Done));
+    }
+
+    #[test]
+    fn dropping_pool_with_blocked_processes_does_not_hang() {
+        let pool: CoroPool<u32, u32> = CoroPool::new(4, |_, ctx| {
+            // Processes immediately block on their first call; the pool is
+            // dropped while they are blocked.
+            let _ = ctx.call(0);
+            unreachable!("never resumed");
+        });
+        let mut pool = pool;
+        // Start them so they are genuinely parked inside `call`.
+        for p in 0..4 {
+            match pool.resume(p, 0) {
+                Step::Request(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        drop(pool); // must not deadlock or panic
+    }
+
+    #[test]
+    fn proc_id_visible_to_body() {
+        let mut pool: CoroPool<usize, usize> = CoroPool::new(3, |id, ctx| {
+            assert_eq!(ctx.id(), id);
+            ctx.call(id);
+        });
+        for p in 0..3 {
+            match pool.resume(p, 0) {
+                Step::Request(q) => assert_eq!(q, p),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

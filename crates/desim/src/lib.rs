@@ -1,0 +1,46 @@
+//! # spasm-desim — deterministic discrete-event simulation kernel
+//!
+//! This crate provides the simulation substrate used by the `spasm-rs`
+//! reproduction of *"Abstracting Network Characteristics and Locality
+//! Properties of Parallel Systems"* (HPCA-1, 1995). The paper's SPASM
+//! simulator was built on CSIM, a process-oriented sequential simulation
+//! package; this crate plays the same role:
+//!
+//! * [`SimTime`] — simulated time in nanoseconds, with saturating arithmetic;
+//! * [`EventQueue`] — a min-heap of timestamped events with **stable
+//!   tie-breaking** (events at equal times pop in push order), which makes
+//!   whole simulations deterministic and reproducible;
+//! * [`CoroPool`] — process-oriented simulation processes implemented as OS
+//!   threads in rendezvous with the (single-threaded) simulator, so that
+//!   application code can be written as ordinary blocking Rust code while the
+//!   simulator retains full control over interleaving (exactly one process
+//!   runs at any instant);
+//! * [`Facility`] — a CSIM-style FCFS single-server resource with wait-time
+//!   accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_desim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_ns(30), "beta");
+//! q.push(SimTime::from_ns(10), "alpha");
+//! q.push(SimTime::from_ns(10), "gamma"); // same time: pops after alpha
+//! assert_eq!(q.pop(), Some((SimTime::from_ns(10), "alpha")));
+//! assert_eq!(q.pop(), Some((SimTime::from_ns(10), "gamma")));
+//! assert_eq!(q.pop(), Some((SimTime::from_ns(30), "beta")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coro;
+mod event_queue;
+mod facility;
+mod time;
+
+pub use coro::{CoroCtx, CoroPool, ProcId, Step};
+pub use event_queue::EventQueue;
+pub use facility::{Facility, FacilityStats};
+pub use time::SimTime;

@@ -1,0 +1,200 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic is the same and the simulator never needs sub-nanosecond
+/// resolution (the finest-grained quantum in the reproduced system is one
+/// 30 ns CPU cycle).
+///
+/// All arithmetic is saturating: a simulation that overflows `u64`
+/// nanoseconds (~584 years) has already gone wrong in a way that saturation
+/// makes easier to observe than wrapping.
+///
+/// # Example
+///
+/// ```
+/// use spasm_desim::SimTime;
+///
+/// let t = SimTime::from_us(1) + SimTime::from_ns(600);
+/// assert_eq!(t.as_ns(), 1_600);
+/// assert_eq!(t - SimTime::from_ns(600), SimTime::from_us(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable time; used as an "idle forever" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Returns the time in whole nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in microseconds as a float (for reporting).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time in milliseconds as a float (for reporting).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference: `self - other`, or zero if `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Multiplies a duration by an integer count (saturating).
+    #[inline]
+    pub fn scale(self, n: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(n))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating subtraction; see [`SimTime::saturating_sub`].
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_ns(42).as_ns(), 42);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        assert_eq!(SimTime::MAX + SimTime::from_ns(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_ns(1), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.scale(2), SimTime::MAX);
+    }
+
+    #[test]
+    fn sub_is_saturating_difference() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(250);
+        assert_eq!(b - a, SimTime::from_ns(150));
+        assert_eq!(a - b, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = [1u64, 2, 3].iter().map(|&n| SimTime::from_ns(n)).sum();
+        assert_eq!(total, SimTime::from_ns(6));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_ns(500).to_string(), "500ns");
+        assert_eq!(SimTime::from_ns(1_600).to_string(), "1.600us");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((SimTime::from_ns(1_500).as_us_f64() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_us(2_500).as_ms_f64() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Simulated shared-memory addressing and NUMA placement.
+
+use std::fmt;
+
+/// Bytes per simulated data word (one `u64`).
+pub const WORD_BYTES: u64 = 8;
+
+/// Bytes per cache block: 32 (4 words), per the paper's §5.
+pub const BLOCK_BYTES: u64 = 32;
+
+/// A byte address in the simulated globally-shared address space.
+///
+/// All memory operations are word-granular; addresses handed to the engine
+/// must be word-aligned. Helper methods navigate words and blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address `words` words past `self`.
+    #[inline]
+    pub fn offset_words(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+
+    /// The block number containing this address.
+    #[inline]
+    pub fn block(self) -> u64 {
+        self.0 / BLOCK_BYTES
+    }
+
+    /// The word index (global) of this address.
+    #[inline]
+    pub fn word_index(self) -> u64 {
+        self.0 / WORD_BYTES
+    }
+
+    /// Whether the address is word-aligned.
+    #[inline]
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    start: u64,
+    end: u64,
+    home: usize,
+    label: Option<&'static str>,
+}
+
+/// The NUMA placement map: which node's memory is home to each address.
+///
+/// The paper's target gives each node "a sufficiently large piece of the
+/// globally shared memory such that the data-set assigned to each processor
+/// fits entirely in its portion" — placement is explicit, by allocation.
+/// Allocations are block-aligned so distinct allocations never share a
+/// cache block (no accidental false sharing between data structures; false
+/// sharing *within* an allocation is of course still possible and is part
+/// of what the paper's FFT spatial-locality discussion is about).
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+    next: u64,
+    p: usize,
+}
+
+impl AddressMap {
+    /// Creates an empty map for `p` nodes.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "need at least one node");
+        AddressMap {
+            regions: Vec::new(),
+            next: 0,
+            p,
+        }
+    }
+
+    /// Allocates `words` words homed at `home`. Returns the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is out of range or `words` is zero.
+    pub fn alloc(&mut self, home: usize, words: u64) -> Addr {
+        self.alloc_labeled(home, words, None)
+    }
+
+    /// Allocates `words` words homed at `home`, attributing the region's
+    /// traffic to `label` in SPASM-style per-structure profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is out of range or `words` is zero.
+    pub fn alloc_labeled(
+        &mut self,
+        home: usize,
+        words: u64,
+        label: Option<&'static str>,
+    ) -> Addr {
+        assert!(home < self.p, "home node {home} out of range");
+        assert!(words > 0, "zero-length allocation");
+        let start = self.next;
+        let bytes = words * WORD_BYTES;
+        // Round the next allocation up to a block boundary.
+        let end = (start + bytes).div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        self.regions.push(Region {
+            start,
+            end,
+            home,
+            label,
+        });
+        self.next = end;
+        Addr(start)
+    }
+
+    /// The home node of `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never allocated.
+    pub fn home_of(&self, addr: Addr) -> usize {
+        let i = self
+            .regions
+            .partition_point(|r| r.end <= addr.0);
+        let r = self
+            .regions
+            .get(i)
+            .filter(|r| r.start <= addr.0 && addr.0 < r.end)
+            .unwrap_or_else(|| panic!("address {addr} not allocated"));
+        r.home
+    }
+
+    /// The label of the region containing `addr`, if it was allocated
+    /// with one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was never allocated.
+    pub fn label_of(&self, addr: Addr) -> Option<&'static str> {
+        let i = self.regions.partition_point(|r| r.end <= addr.0);
+        self.regions
+            .get(i)
+            .filter(|r| r.start <= addr.0 && addr.0 < r.end)
+            .unwrap_or_else(|| panic!("address {addr} not allocated"))
+            .label
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    /// Total bytes allocated (including block-alignment padding).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_and_block_math() {
+        let a = Addr(64);
+        assert_eq!(a.offset_words(3), Addr(88));
+        assert_eq!(a.block(), 2);
+        assert_eq!(Addr(95).block(), 2);
+        assert_eq!(Addr(96).block(), 3);
+        assert_eq!(a.word_index(), 8);
+        assert!(a.is_word_aligned());
+        assert!(!Addr(65).is_word_aligned());
+    }
+
+    #[test]
+    fn allocations_are_block_aligned_and_disjoint() {
+        let mut m = AddressMap::new(4);
+        let a = m.alloc(0, 1); // 8 bytes -> padded to 32
+        let b = m.alloc(1, 5); // 40 bytes -> padded to 64
+        let c = m.alloc(2, 4);
+        assert_eq!(a, Addr(0));
+        assert_eq!(b, Addr(32));
+        assert_eq!(c, Addr(96));
+        assert_ne!(a.block(), b.block());
+        assert_ne!(b.offset_words(4).block(), c.block());
+    }
+
+    #[test]
+    fn home_lookup() {
+        let mut m = AddressMap::new(4);
+        let a = m.alloc(3, 4);
+        let b = m.alloc(1, 100);
+        assert_eq!(m.home_of(a), 3);
+        assert_eq!(m.home_of(a.offset_words(3)), 3);
+        assert_eq!(m.home_of(b), 1);
+        assert_eq!(m.home_of(b.offset_words(99)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn unallocated_address_panics() {
+        let mut m = AddressMap::new(2);
+        m.alloc(0, 1);
+        m.home_of(Addr(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_home_panics() {
+        AddressMap::new(2).alloc(2, 1);
+    }
+
+    #[test]
+    fn allocated_bytes_reports_padding() {
+        let mut m = AddressMap::new(1);
+        m.alloc(0, 1);
+        assert_eq!(m.allocated_bytes(), 32);
+    }
+}

@@ -1,0 +1,452 @@
+//! The execution-driven simulation engine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use spasm_cache::AccessKind;
+use spasm_desim::{CoroCtx, CoroPool, EventQueue, SimTime, Step};
+use spasm_topology::Topology;
+
+use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
+use crate::ops::{MemReq, MemResp, Pred, RmwOp};
+use crate::stats::{Buckets, ProcStats};
+use crate::{AddressMap, Addr, SetupCtx, ValueStore, CYCLE_NS};
+
+/// One simulated processor's program.
+pub type ProcBody = Box<dyn FnOnce(usize, &CoroCtx<MemReq, MemResp>) + Send + 'static>;
+
+/// Why a simulation failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// A processor's body panicked.
+    Panicked {
+        /// The processor.
+        proc: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// No events remain but processors are still waiting — a lost-wakeup
+    /// or application-level deadlock.
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        at: SimTime,
+        /// Processors still blocked.
+        waiting: Vec<usize>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked { proc, message } => {
+                write!(f, "processor {proc} panicked: {message}")
+            }
+            RunError::Deadlock { at, waiting } => {
+                write!(f, "deadlock at {at}: processors {waiting:?} blocked forever")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Results of one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Which machine was simulated.
+    pub kind: MachineKind,
+    /// Total (simulated) execution time: the maximum over processors of
+    /// their completion times — SPASM's "total time".
+    pub exec_time: SimTime,
+    /// Per-processor statistics.
+    pub per_proc: Vec<ProcStats>,
+    /// Sum of all processors' buckets.
+    pub totals: Buckets,
+    /// Simulator events processed (the simulation-speed driver).
+    pub events: u64,
+    /// Machine-side counters (network traffic, cache behaviour).
+    pub summary: ModelSummary,
+    /// Per-labeled-region overhead attribution (SPASM-style "which data
+    /// structure caused the traffic"), sorted by label.
+    pub region_traffic: Vec<(&'static str, Buckets)>,
+    /// The shared memory at completion, for result verification.
+    pub final_store: ValueStore,
+    /// Host wall-clock time the simulation took (§7 "Speed of Simulation").
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Mean per-processor latency overhead, in microseconds — the metric
+    /// the paper's latency figures plot.
+    pub fn latency_overhead_us(&self) -> f64 {
+        self.totals.latency.as_us_f64() / self.procs() as f64
+    }
+
+    /// Mean per-processor contention overhead, in microseconds.
+    pub fn contention_overhead_us(&self) -> f64 {
+        self.totals.contention.as_us_f64() / self.procs() as f64
+    }
+
+    /// Execution time in microseconds.
+    pub fn exec_time_us(&self) -> f64 {
+        self.exec_time.as_us_f64()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Handle a processor's request at its issue time.
+    Dispatch(usize, MemReq),
+    /// An operation completes: apply its effect and resume the processor.
+    Commit(usize, Action),
+    /// An explicit message arrives at its destination's mailbox.
+    Deliver {
+        dst: usize,
+        tag: u64,
+        value: u64,
+    },
+}
+
+#[derive(Debug)]
+enum Action {
+    Compute,
+    Read(Addr),
+    Write(Addr, u64),
+    Rmw(Addr, RmwOp),
+    Check(Addr, Pred),
+    Sent,
+    Received(u64),
+}
+
+/// Drives application processes over a machine model.
+///
+/// See the crate-level example. The engine owns the coroutine pool, the
+/// event queue, the value store, and the machine model; [`Engine::run`]
+/// consumes events to completion and produces a [`RunReport`].
+pub struct Engine {
+    pool: CoroPool<MemReq, MemResp>,
+    model: Model,
+    amap: AddressMap,
+    store: ValueStore,
+    events: EventQueue<Ev>,
+    /// word index → processors spin-waiting on that word.
+    watchers: HashMap<u64, Vec<(usize, Pred)>>,
+    region_traffic: HashMap<&'static str, Buckets>,
+    /// (receiver, tag) → arrived-but-unconsumed message payloads, FIFO.
+    mailboxes: HashMap<(usize, u64), std::collections::VecDeque<u64>>,
+    /// Per-processor pending blocking receive (tag), if any.
+    recv_wait: Vec<Option<u64>>,
+    wait_start: Vec<Option<SimTime>>,
+    stats: Vec<ProcStats>,
+    live: usize,
+    now: SimTime,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("kind", &self.model.kind())
+            .field("procs", &self.stats.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine with the default [`MachineConfig`].
+    pub fn new(kind: MachineKind, topo: &Topology, setup: SetupCtx, bodies: Vec<ProcBody>) -> Self {
+        Engine::with_config(kind, topo, MachineConfig::default(), setup, bodies)
+    }
+
+    /// Builds an engine with an explicit machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of bodies does not match the topology size or
+    /// the setup's node count.
+    pub fn with_config(
+        kind: MachineKind,
+        topo: &Topology,
+        config: MachineConfig,
+        setup: SetupCtx,
+        bodies: Vec<ProcBody>,
+    ) -> Self {
+        let p = topo.nodes();
+        assert_eq!(bodies.len(), p, "one body per processor");
+        assert_eq!(setup.nodes(), p, "setup sized for a different machine");
+        let (amap, store) = setup.into_parts();
+        let wrapped: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(id, body)| {
+                move |proc: usize, ctx: &CoroCtx<MemReq, MemResp>| {
+                    debug_assert_eq!(proc, id);
+                    body(proc, ctx)
+                }
+            })
+            .collect();
+        Engine {
+            pool: CoroPool::from_bodies(wrapped),
+            model: Model::new(kind, topo, config),
+            amap,
+            store,
+            events: EventQueue::new(),
+            watchers: HashMap::new(),
+            region_traffic: HashMap::new(),
+            mailboxes: HashMap::new(),
+            recv_wait: vec![None; p],
+            wait_start: vec![None; p],
+            stats: vec![ProcStats::default(); p],
+            live: p,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Panicked`] if application code panics, and
+    /// [`RunError::Deadlock`] if all remaining processors are blocked on
+    /// waits that can never be satisfied.
+    pub fn run(&mut self) -> Result<RunReport, RunError> {
+        let wall_start = Instant::now();
+        let p = self.stats.len();
+        for proc in 0..p {
+            self.resume(proc, MemResp::Start)?;
+        }
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Ev::Dispatch(proc, req) => self.dispatch(proc, req)?,
+                Ev::Commit(proc, action) => self.commit(proc, action)?,
+                Ev::Deliver { dst, tag, value } => self.deliver(dst, tag, value),
+            }
+        }
+        if self.live > 0 {
+            let mut waiting: Vec<usize> = self
+                .watchers
+                .values()
+                .flat_map(|v| v.iter().map(|&(p, _)| p))
+                .collect();
+            waiting.extend(
+                self.recv_wait
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.is_some())
+                    .map(|(p, _)| p),
+            );
+            waiting.sort_unstable();
+            return Err(RunError::Deadlock {
+                at: self.now,
+                waiting,
+            });
+        }
+        let mut totals = Buckets::default();
+        let mut exec_time = SimTime::ZERO;
+        for s in &self.stats {
+            totals.add(&s.buckets);
+            exec_time = exec_time.max(s.finish);
+        }
+        let mut region_traffic: Vec<(&'static str, Buckets)> =
+            self.region_traffic.iter().map(|(&k, &v)| (k, v)).collect();
+        region_traffic.sort_by_key(|&(k, _)| k);
+        Ok(RunReport {
+            kind: self.model.kind(),
+            exec_time,
+            per_proc: self.stats.clone(),
+            totals,
+            events: self.events.pushed(),
+            summary: self.model.summary(p),
+            region_traffic,
+            final_store: self.store.clone(),
+            wall: wall_start.elapsed(),
+        })
+    }
+
+    fn dispatch(&mut self, proc: usize, req: MemReq) -> Result<(), RunError> {
+        self.stats[proc].ops += 1;
+        let now = self.now;
+        match req {
+            MemReq::Compute { cycles } => {
+                let dur = SimTime::from_ns(cycles * CYCLE_NS);
+                self.stats[proc].buckets.busy += dur;
+                self.events.push(now + dur, Ev::Commit(proc, Action::Compute));
+            }
+            MemReq::Read { addr } => {
+                let finish = self.priced_access(proc, addr, AccessKind::Read);
+                self.events.push(finish, Ev::Commit(proc, Action::Read(addr)));
+            }
+            MemReq::Write { addr, value } => {
+                let finish = self.priced_access(proc, addr, AccessKind::Write);
+                self.events
+                    .push(finish, Ev::Commit(proc, Action::Write(addr, value)));
+            }
+            MemReq::Rmw { addr, op } => {
+                let finish = self.priced_access(proc, addr, AccessKind::Write);
+                self.events
+                    .push(finish, Ev::Commit(proc, Action::Rmw(addr, op)));
+            }
+            MemReq::WaitUntil { addr, pred } => {
+                let finish = self.priced_access(proc, addr, AccessKind::Read);
+                self.events
+                    .push(finish, Ev::Commit(proc, Action::Check(addr, pred)));
+            }
+            MemReq::Send {
+                dst,
+                bytes,
+                tag,
+                value,
+            } => {
+                assert!(
+                    (1..=32).contains(&bytes),
+                    "message size {bytes} outside 1..=32 bytes"
+                );
+                assert!(dst < self.stats.len(), "destination {dst} out of range");
+                let cost = self.model.msg_send(self.now, proc, dst, bytes);
+                self.stats[proc].buckets.add(&cost.buckets);
+                self.events
+                    .push(cost.sender_free, Ev::Commit(proc, Action::Sent));
+                self.events
+                    .push(cost.delivered, Ev::Deliver { dst, tag, value });
+            }
+            MemReq::Recv { tag } => {
+                if let Some(value) = self
+                    .mailboxes
+                    .get_mut(&(proc, tag))
+                    .and_then(|q| q.pop_front())
+                {
+                    // Message already arrived: charge the receive handoff.
+                    let finish = self.now + SimTime::from_ns(CYCLE_NS);
+                    self.events
+                        .push(finish, Ev::Commit(proc, Action::Received(value)));
+                } else {
+                    assert!(
+                        self.recv_wait[proc].is_none(),
+                        "processor {proc} already blocked in recv"
+                    );
+                    self.recv_wait[proc] = Some(tag);
+                    if self.wait_start[proc].is_none() {
+                        self.wait_start[proc] = Some(self.now);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn priced_access(&mut self, proc: usize, addr: Addr, kind: AccessKind) -> SimTime {
+        assert!(addr.is_word_aligned(), "unaligned access at {addr}");
+        let cost = self.model.access(self.now, proc, addr, &self.amap, kind);
+        self.stats[proc].buckets.add(&cost.buckets);
+        if let Some(label) = self.amap.label_of(addr) {
+            self.region_traffic
+                .entry(label)
+                .or_default()
+                .add(&cost.buckets);
+        }
+        cost.finish
+    }
+
+    fn commit(&mut self, proc: usize, action: Action) -> Result<(), RunError> {
+        match action {
+            Action::Compute => self.resume(proc, MemResp::Ack),
+            Action::Read(addr) => {
+                let v = self.store.read_word(addr);
+                self.resume(proc, MemResp::Value(v))
+            }
+            Action::Write(addr, value) => {
+                self.store.write_word(addr, value);
+                self.wake_watchers(addr);
+                self.resume(proc, MemResp::Ack)
+            }
+            Action::Rmw(addr, op) => {
+                let old = self.store.read_word(addr);
+                self.store.write_word(addr, op.apply(old));
+                self.wake_watchers(addr);
+                self.resume(proc, MemResp::Value(old))
+            }
+            Action::Sent => self.resume(proc, MemResp::Ack),
+            Action::Received(value) => {
+                if let Some(start) = self.wait_start[proc].take() {
+                    self.stats[proc].buckets.sync += self.now - start;
+                }
+                self.resume(proc, MemResp::Value(value))
+            }
+            Action::Check(addr, pred) => {
+                let v = self.store.read_word(addr);
+                if pred.eval(v) {
+                    if let Some(start) = self.wait_start[proc].take() {
+                        self.stats[proc].buckets.sync += self.now - start;
+                    }
+                    self.resume(proc, MemResp::Value(v))
+                } else {
+                    if self.wait_start[proc].is_none() {
+                        self.wait_start[proc] = Some(self.now);
+                    }
+                    if self.model.is_polling() {
+                        // Cache-less machine: each poll really re-reads
+                        // over the network. Re-dispatch immediately; the
+                        // read itself advances time, so this terminates.
+                        self.events
+                            .push(self.now, Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }));
+                    } else {
+                        // Spin in-cache: idle until the word is written.
+                        self.watchers
+                            .entry(addr.word_index())
+                            .or_default()
+                            .push((proc, pred));
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn wake_watchers(&mut self, addr: Addr) {
+        if let Some(waiters) = self.watchers.remove(&addr.word_index()) {
+            for (proc, pred) in waiters {
+                // Each waiter re-reads the (just-invalidated) word and
+                // re-checks — the paper's "first and last accesses use the
+                // network" spin behaviour.
+                self.events
+                    .push(self.now, Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }));
+            }
+        }
+    }
+
+    fn deliver(&mut self, dst: usize, tag: u64, value: u64) {
+        self.mailboxes.entry((dst, tag)).or_default().push_back(value);
+        if self.recv_wait[dst] == Some(tag) {
+            self.recv_wait[dst] = None;
+            // Re-dispatch the receive; it will find the mailbox non-empty.
+            self.events
+                .push(self.now, Ev::Dispatch(dst, MemReq::Recv { tag }));
+        }
+    }
+
+    fn resume(&mut self, proc: usize, resp: MemResp) -> Result<(), RunError> {
+        match self.pool.resume(proc, resp) {
+            Step::Request(req) => {
+                self.events.push(self.now, Ev::Dispatch(proc, req));
+                Ok(())
+            }
+            Step::Done => {
+                self.stats[proc].finish = self.now;
+                self.live -= 1;
+                Ok(())
+            }
+            Step::Panicked(message) => Err(RunError::Panicked {
+                proc,
+                message,
+            }),
+        }
+    }
+}

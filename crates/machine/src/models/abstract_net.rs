@@ -1,0 +1,175 @@
+//! The LogP-abstracted network shared by the LogP and CLogP machines.
+
+use spasm_desim::SimTime;
+use spasm_logp::{GapTracker, LogPParams, NetEvent};
+use spasm_topology::Topology;
+
+use crate::{Buckets, DATA_BYTES};
+
+use super::MachineConfig;
+
+/// Message timing under the LogP abstraction.
+///
+/// A message from `src` to `dst`:
+///
+/// 1. waits for the sender's network interface per the gap policy
+///    (waiting charged as **contention**);
+/// 2. spends `L` in the network (charged as **latency** — L is fixed at
+///    the 32-byte transmission time regardless of the actual payload,
+///    which is the pessimism the paper discusses);
+/// 3. waits for the receiver's interface per the gap policy (contention).
+///
+/// Local messages (`src == dst`) are free and never touch the interface.
+#[derive(Debug)]
+pub struct AbstractNet {
+    params: LogPParams,
+    gaps: GapTracker,
+    messages: u64,
+    bytes: u64,
+    latency: SimTime,
+    contention: SimTime,
+}
+
+impl AbstractNet {
+    /// Builds the abstraction for `topo` with the configured gap policy
+    /// and g scaling.
+    pub fn new(topo: &Topology, config: &MachineConfig) -> Self {
+        let params = LogPParams::for_topology(topo).with_g_scaled(config.g_scale);
+        AbstractNet {
+            params,
+            gaps: GapTracker::new(topo.nodes(), params.g, config.gap_policy),
+            messages: 0,
+            bytes: 0,
+            latency: SimTime::ZERO,
+            contention: SimTime::ZERO,
+        }
+    }
+
+    /// The derived parameters.
+    pub fn params(&self) -> LogPParams {
+        self.params
+    }
+
+    /// Delivers one abstract message; returns the delivery time and
+    /// charges `buckets`.
+    pub fn message(&mut self, at: SimTime, src: usize, dst: usize, buckets: &mut Buckets) -> SimTime {
+        self.message_timed(at, src, dst, buckets).1
+    }
+
+    /// Like [`AbstractNet::message`], but also returns when the sender's
+    /// network interface slot began — the point an asynchronous LogP
+    /// sender is free to continue: `(sender_slot, delivered)`.
+    pub fn message_timed(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        buckets: &mut Buckets,
+    ) -> (SimTime, SimTime) {
+        if src == dst {
+            return (at, at);
+        }
+        let send = self.gaps.acquire(src, NetEvent::Send, at);
+        buckets.contention += send.waited;
+        let arrive = send.start + self.params.l;
+        buckets.latency += self.params.l;
+        let recv = self.gaps.acquire(dst, NetEvent::Recv, arrive);
+        buckets.contention += recv.waited;
+        buckets.msgs += 1;
+        buckets.bytes += DATA_BYTES;
+        self.messages += 1;
+        self.bytes += DATA_BYTES;
+        self.latency += self.params.l;
+        self.contention += send.waited + recv.waited;
+        (send.start, recv.start)
+    }
+
+    /// A request/response pair `src → dst → src`; returns completion time.
+    pub fn round_trip(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        buckets: &mut Buckets,
+    ) -> SimTime {
+        let there = self.message(at, src, dst, buckets);
+        self.message(there, dst, src, buckets)
+    }
+
+    /// Totals for the run report: `(messages, bytes, latency, contention)`.
+    pub fn totals(&self) -> (u64, u64, SimTime, SimTime) {
+        (self.messages, self.bytes, self.latency, self.contention)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_logp::GapPolicy;
+
+    fn net(p: usize) -> AbstractNet {
+        AbstractNet::new(&Topology::hypercube(p), &MachineConfig::default())
+    }
+
+    #[test]
+    fn single_message_costs_l() {
+        let mut n = net(4);
+        let mut b = Buckets::default();
+        let t = n.message(SimTime::ZERO, 0, 1, &mut b);
+        assert_eq!(t, SimTime::from_ns(1600));
+        assert_eq!(b.latency, SimTime::from_ns(1600));
+        assert_eq!(b.contention, SimTime::ZERO);
+        assert_eq!(b.msgs, 1);
+    }
+
+    #[test]
+    fn round_trip_costs_two_l() {
+        let mut n = net(4);
+        let mut b = Buckets::default();
+        let t = n.round_trip(SimTime::ZERO, 0, 3, &mut b);
+        // cube g = L, so the reply's send at node 3 is gated by its recv:
+        // recv at 1600 -> send allowed at 3200 -> deliver 4800, recv gap
+        // at node 0 allows 3200... recv at 0 happens at 4800 (>= gap).
+        assert_eq!(b.msgs, 2);
+        assert_eq!(b.latency, SimTime::from_ns(3200));
+        assert!(t >= SimTime::from_ns(3200));
+    }
+
+    #[test]
+    fn back_to_back_sends_pay_gap() {
+        let mut n = net(4); // g = 1600 on the cube
+        let mut b = Buckets::default();
+        n.message(SimTime::ZERO, 0, 1, &mut b);
+        let before = b.contention;
+        n.message(SimTime::ZERO, 0, 2, &mut b);
+        assert!(b.contention > before, "second send must wait out g");
+    }
+
+    #[test]
+    fn local_messages_free() {
+        let mut n = net(4);
+        let mut b = Buckets::default();
+        let t = n.message(SimTime::from_ns(5), 2, 2, &mut b);
+        assert_eq!(t, SimTime::from_ns(5));
+        assert_eq!(b.msgs, 0);
+        assert_eq!(n.totals().0, 0);
+    }
+
+    #[test]
+    fn per_event_type_policy_relaxes_send_after_recv() {
+        let topo = Topology::hypercube(4);
+        let unified = MachineConfig::default();
+        let per_type = MachineConfig {
+            gap_policy: GapPolicy::PerEventType,
+            ..MachineConfig::default()
+        };
+        let mut b1 = Buckets::default();
+        let mut n1 = AbstractNet::new(&topo, &unified);
+        let t1 = n1.round_trip(SimTime::ZERO, 0, 1, &mut b1);
+        let mut b2 = Buckets::default();
+        let mut n2 = AbstractNet::new(&topo, &per_type);
+        let t2 = n2.round_trip(SimTime::ZERO, 0, 1, &mut b2);
+        assert!(t2 < t1, "per-event-type gap must be faster ({t2} vs {t1})");
+        assert!(b2.contention < b1.contention);
+    }
+}

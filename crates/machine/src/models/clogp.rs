@@ -1,0 +1,200 @@
+//! The CLogP machine: LogP plus an ideal coherent cache.
+
+use spasm_cache::{AccessKind, CoherenceController, Outcome};
+use spasm_desim::SimTime;
+use spasm_topology::Topology;
+
+use crate::{AddressMap, Addr, Buckets, BLOCK_BYTES, CYCLE_NS, MEM_NS};
+
+use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
+
+/// The paper's §3.2 machine: the LogP machine "augmented with an
+/// abstraction for a cache at each processing node. A network access is
+/// thus incurred only when the memory request cannot be satisfied by the
+/// cache or local memory. The caches are maintained coherent … but the
+/// overhead for maintaining the coherence is not modeled."
+///
+/// Concretely: the **same** Berkeley state machine as the target runs under
+/// every access, but
+///
+/// * upgrades (invalidations, ownership changes) are free — states flip
+///   globally at zero cost and zero traffic;
+/// * only true data movement is priced: a miss to a remotely-homed block is
+///   one abstract round trip (request + data), a miss to a locally-homed
+///   block is a memory access, and an owned victim's writeback is one
+///   fire-and-forget message;
+/// * hits cost a cycle.
+///
+/// This "represents the minimum number of network messages that any
+/// invalidation-based coherence protocol may hope to achieve."
+#[derive(Debug)]
+pub struct CLogPModel {
+    net: AbstractNet,
+    coherence: CoherenceController,
+}
+
+impl CLogPModel {
+    /// Builds the machine.
+    pub fn new(topo: &Topology, config: MachineConfig) -> Self {
+        CLogPModel {
+            net: AbstractNet::new(topo, &config),
+            coherence: CoherenceController::new(topo.nodes(), config.cache),
+        }
+    }
+
+    /// Prices one access.
+    pub fn access(
+        &mut self,
+        at: SimTime,
+        proc: usize,
+        addr: Addr,
+        amap: &AddressMap,
+        kind: AccessKind,
+    ) -> Cost {
+        let mut buckets = Buckets::default();
+        let cycle = SimTime::from_ns(CYCLE_NS);
+        let finish = match self.coherence.access(proc, addr.block(), kind) {
+            // Present with sufficient rights, or upgradable for free:
+            // coherence actions cost nothing on this machine.
+            Outcome::Hit | Outcome::UpgradeHit { .. } => {
+                buckets.mem += cycle;
+                at + cycle
+            }
+            Outcome::Miss { writeback, .. } => {
+                // True data movement: fetch the block.
+                let home = amap.home_of(addr);
+                let finish = if home == proc {
+                    buckets.mem += SimTime::from_ns(MEM_NS);
+                    at + SimTime::from_ns(MEM_NS)
+                } else {
+                    self.net.round_trip(at, proc, home, &mut buckets)
+                };
+                // An owned victim is written back (fire and forget).
+                if let Some(wb) = writeback {
+                    let wb_home = amap.home_of(Addr(wb.block * BLOCK_BYTES));
+                    self.net.message(at, proc, wb_home, &mut buckets);
+                }
+                finish
+            }
+        };
+        Cost { finish, buckets }
+    }
+
+    /// The derived LogP parameters in force.
+    pub fn params(&self) -> spasm_logp::LogPParams {
+        self.net.params()
+    }
+
+    /// Mutable access to the abstract network (explicit messaging).
+    pub(crate) fn net_mut(&mut self) -> &mut AbstractNet {
+        &mut self.net
+    }
+
+    /// Run-report counters.
+    pub fn summary(&self, p: usize) -> ModelSummary {
+        let (net_messages, net_bytes, net_latency, net_contention) = self.net.totals();
+        let mut s = ModelSummary {
+            net_messages,
+            net_bytes,
+            net_latency,
+            net_contention,
+            ..ModelSummary::default()
+        };
+        for n in 0..p {
+            let cs = self.coherence.cache_stats(n);
+            s.cache_hits += cs.hits;
+            s.cache_misses += cs.misses;
+            s.invalidations += cs.invalidations;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CLogPModel, AddressMap) {
+        let topo = Topology::full(4);
+        let mut amap = AddressMap::new(4);
+        for home in 0..4 {
+            amap.alloc(home, 64);
+        }
+        (CLogPModel::new(&topo, MachineConfig::default()), amap)
+    }
+
+    #[test]
+    fn first_remote_read_pays_then_hits() {
+        let (mut m, amap) = setup();
+        let remote = Addr(512); // homed at 1
+        let c1 = m.access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read);
+        assert_eq!(c1.buckets.msgs, 2);
+        let c2 = m.access(c1.finish, 0, remote, &amap, AccessKind::Read);
+        assert_eq!(c2.buckets.msgs, 0);
+        assert_eq!(c2.finish, c1.finish + SimTime::from_ns(CYCLE_NS));
+    }
+
+    #[test]
+    fn spatial_locality_one_fetch_per_block() {
+        // Four consecutive words share a 32-byte block: one round trip
+        // total, versus four on the LogP machine (the paper's FFT 4x).
+        let (mut m, amap) = setup();
+        let base = Addr(512);
+        let mut t = SimTime::ZERO;
+        let mut msgs = 0;
+        for w in 0..4 {
+            let c = m.access(t, 0, base.offset_words(w), &amap, AccessKind::Read);
+            msgs += c.buckets.msgs;
+            t = c.finish;
+        }
+        assert_eq!(msgs, 2); // one request + one data reply
+    }
+
+    #[test]
+    fn upgrade_is_free_paper_example() {
+        // §3.2: block valid in two caches; a write generates an
+        // invalidation on the target but NO network access here; the other
+        // processor's next read misses on both machines.
+        let (mut m, amap) = setup();
+        let a = Addr(512); // homed at node 1; procs 0 and 2 are remote
+        m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read);
+        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
+        let w = m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Write);
+        assert_eq!(w.buckets.msgs, 0, "upgrade must be free");
+        let r = m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
+        assert_eq!(r.buckets.msgs, 2, "re-read is a true communication");
+    }
+
+    #[test]
+    fn local_miss_costs_memory_not_network() {
+        let (mut m, amap) = setup();
+        let local = Addr(0);
+        let c = m.access(SimTime::ZERO, 0, local, &amap, AccessKind::Read);
+        assert_eq!(c.buckets.msgs, 0);
+        assert_eq!(c.finish, SimTime::from_ns(MEM_NS));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_one_message() {
+        let topo = Topology::full(2);
+        let mut amap = AddressMap::new(2);
+        amap.alloc(0, 4096); // lots of words at node 0
+        let config = MachineConfig {
+            cache: spasm_cache::CacheConfig {
+                size_bytes: 64, // 1 set x 2 ways: tiny, evicts fast
+                assoc: 2,
+                block_bytes: 32,
+            },
+            ..MachineConfig::default()
+        };
+        let mut m = CLogPModel::new(&topo, config);
+        // Node 1 dirties block 0, then reads blocks 1 and 2 evicting it.
+        let w = m.access(SimTime::ZERO, 1, Addr(0), &amap, AccessKind::Write);
+        assert_eq!(w.buckets.msgs, 2);
+        let r1 = m.access(w.finish, 1, Addr(32), &amap, AccessKind::Read);
+        assert_eq!(r1.buckets.msgs, 2);
+        let r2 = m.access(r1.finish, 1, Addr(64), &amap, AccessKind::Read);
+        // fetch round trip (2) + writeback of dirty block 0 (1)
+        assert_eq!(r2.buckets.msgs, 3);
+    }
+}

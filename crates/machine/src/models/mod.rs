@@ -1,0 +1,242 @@
+//! The four machine characterizations behind one dispatch enum.
+
+mod abstract_net;
+mod clogp;
+mod logp_machine;
+mod pram;
+mod target;
+
+pub(crate) use abstract_net::AbstractNet;
+
+use spasm_cache::{AccessKind, CacheConfig, ProtocolKind};
+use spasm_desim::SimTime;
+use spasm_logp::GapPolicy;
+use spasm_topology::Topology;
+
+use crate::{AddressMap, Addr, Buckets};
+
+pub use clogp::CLogPModel;
+pub use logp_machine::LogPModel;
+pub use pram::PramModel;
+pub use target::TargetModel;
+
+/// Which machine characterization to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// Ideal PRAM: unit-cost conflict-free memory. Produces SPASM's
+    /// *ideal time* (algorithmic overheads only).
+    Pram,
+    /// The CC-NUMA target: coherent caches, full Berkeley/directory
+    /// protocol, link-level network.
+    Target,
+    /// The LogP abstraction: no caches, L/g network.
+    LogP,
+    /// LogP plus the ideal coherent cache.
+    CLogP,
+}
+
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MachineKind::Pram => "pram",
+            MachineKind::Target => "target",
+            MachineKind::LogP => "logp",
+            MachineKind::CLogP => "clogp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunables for machine construction beyond the kind and topology.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Cache geometry for the target and CLogP machines.
+    pub cache: CacheConfig,
+    /// Gap enforcement policy for the LogP-abstracted machines
+    /// (ablation A1 flips this to [`GapPolicy::PerEventType`]).
+    pub gap_policy: GapPolicy,
+    /// Multiplier on the derived g (ablation: "a better estimate of g").
+    pub g_scale: f64,
+    /// Coherence protocol for the target machine (the CLogP ideal cache
+    /// always runs Berkeley state transitions — the abstraction under
+    /// study). Ablation for the Wood et al. protocol-insensitivity claim.
+    pub protocol: ProtocolKind,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cache: CacheConfig::paper(),
+            gap_policy: GapPolicy::Unified,
+            g_scale: 1.0,
+            protocol: ProtocolKind::Berkeley,
+        }
+    }
+}
+
+/// The time-and-traffic price of one memory operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Cost {
+    /// When the operation completes and the processor may continue.
+    pub finish: SimTime,
+    /// Overhead charges for the operation.
+    pub buckets: Buckets,
+}
+
+/// The price of one explicit (message-passing) send.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgCost {
+    /// When the sender may continue. On the circuit-switched target the
+    /// sender holds the circuit for the whole transmission; on the LogP
+    /// machines the send is asynchronous and the sender is free once its
+    /// network-interface slot is granted.
+    pub sender_free: SimTime,
+    /// When the payload becomes receivable at the destination.
+    pub delivered: SimTime,
+    /// Overhead charges for the message (to the sender's buckets).
+    pub buckets: Buckets,
+}
+
+/// Aggregate machine-side counters for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelSummary {
+    /// Network messages (real or abstracted).
+    pub net_messages: u64,
+    /// Bytes carried.
+    pub net_bytes: u64,
+    /// Total network transmission (latency) time.
+    pub net_latency: SimTime,
+    /// Total network waiting (contention) time.
+    pub net_contention: SimTime,
+    /// Cache hits summed over nodes (cached machines).
+    pub cache_hits: u64,
+    /// Cache misses summed over nodes (cached machines).
+    pub cache_misses: u64,
+    /// Lines invalidated by coherence actions (cached machines).
+    pub invalidations: u64,
+    /// Messages that crossed the canonical bisection (target machine
+    /// only — the abstracted network has no geometry to cross).
+    pub bisection_crossings: u64,
+}
+
+impl ModelSummary {
+    /// Fraction of messages that crossed the bisection (0 when idle).
+    pub fn crossing_fraction(&self) -> f64 {
+        if self.net_messages == 0 {
+            0.0
+        } else {
+            self.bisection_crossings as f64 / self.net_messages as f64
+        }
+    }
+}
+
+/// One of the four machine models.
+///
+/// An enum rather than a trait object so the engine's hot loop dispatches
+/// statically-knowable variants and the whole simulator stays trivially
+/// `Send`.
+#[derive(Debug)]
+pub enum Model {
+    /// See [`MachineKind::Pram`].
+    Pram(PramModel),
+    /// See [`MachineKind::Target`].
+    Target(TargetModel),
+    /// See [`MachineKind::LogP`].
+    LogP(LogPModel),
+    /// See [`MachineKind::CLogP`].
+    CLogP(CLogPModel),
+}
+
+impl Model {
+    /// Builds the model for `kind` over `topo` with `config`.
+    pub fn new(kind: MachineKind, topo: &Topology, config: MachineConfig) -> Self {
+        match kind {
+            MachineKind::Pram => Model::Pram(PramModel::new()),
+            MachineKind::Target => Model::Target(TargetModel::with_protocol(
+                topo.clone(),
+                config.cache,
+                config.protocol,
+            )),
+            MachineKind::LogP => Model::LogP(LogPModel::new(topo, config)),
+            MachineKind::CLogP => Model::CLogP(CLogPModel::new(topo, config)),
+        }
+    }
+
+    /// Which kind this model is.
+    pub fn kind(&self) -> MachineKind {
+        match self {
+            Model::Pram(_) => MachineKind::Pram,
+            Model::Target(_) => MachineKind::Target,
+            Model::LogP(_) => MachineKind::LogP,
+            Model::CLogP(_) => MachineKind::CLogP,
+        }
+    }
+
+    /// Prices one access of `kind` by `proc` to `addr` starting at `at`.
+    pub fn access(
+        &mut self,
+        at: SimTime,
+        proc: usize,
+        addr: Addr,
+        amap: &AddressMap,
+        kind: AccessKind,
+    ) -> Cost {
+        match self {
+            Model::Pram(m) => m.access(at),
+            Model::Target(m) => m.access(at, proc, addr, amap, kind),
+            Model::LogP(m) => m.access(at, proc, addr, amap),
+            Model::CLogP(m) => m.access(at, proc, addr, amap, kind),
+        }
+    }
+
+    /// Prices one explicit message from `src` to `dst` of `bytes` bytes
+    /// injected at `at`.
+    pub fn msg_send(&mut self, at: SimTime, src: usize, dst: usize, bytes: u64) -> MsgCost {
+        let mut buckets = Buckets::default();
+        let cycle = SimTime::from_ns(crate::CYCLE_NS);
+        match self {
+            Model::Pram(_) => MsgCost {
+                sender_free: at + cycle,
+                delivered: at + cycle,
+                buckets: {
+                    buckets.mem += cycle;
+                    buckets
+                },
+            },
+            Model::Target(m) => m.msg_send(at, src, dst, bytes),
+            Model::LogP(m) => {
+                let (slot, delivered) = m.net_mut().message_timed(at, src, dst, &mut buckets);
+                MsgCost {
+                    sender_free: slot.max(at + cycle),
+                    delivered,
+                    buckets,
+                }
+            }
+            Model::CLogP(m) => {
+                let (slot, delivered) = m.net_mut().message_timed(at, src, dst, &mut buckets);
+                MsgCost {
+                    sender_free: slot.max(at + cycle),
+                    delivered,
+                    buckets,
+                }
+            }
+        }
+    }
+
+    /// Whether `WaitUntil` must poll (re-issue reads) rather than idle
+    /// until the watched word changes. True only for the cache-less LogP
+    /// machine, where a spin loop really does re-touch the network.
+    pub fn is_polling(&self) -> bool {
+        matches!(self, Model::LogP(_))
+    }
+
+    /// Aggregate counters for the run report.
+    pub fn summary(&self, p: usize) -> ModelSummary {
+        match self {
+            Model::Pram(_) => ModelSummary::default(),
+            Model::Target(m) => m.summary(p),
+            Model::LogP(m) => m.summary(),
+            Model::CLogP(m) => m.summary(p),
+        }
+    }
+}

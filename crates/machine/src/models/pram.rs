@@ -1,0 +1,50 @@
+//! The ideal PRAM machine: SPASM's *ideal time* metric.
+
+use spasm_desim::SimTime;
+
+use crate::{Buckets, CYCLE_NS};
+
+use super::Cost;
+
+/// Unit-cost, conflict-free shared memory.
+///
+/// "Ideal time is the time taken by the parallel program to execute on an
+/// ideal machine such as the PRAM. This metric includes the algorithmic
+/// overheads [serial fraction, work imbalance] but does not include any
+/// overheads arising from architectural limitations." Every memory
+/// operation costs one cycle; synchronization waiting still accrues (it is
+/// algorithmic).
+#[derive(Debug, Default)]
+pub struct PramModel {}
+
+impl PramModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        PramModel {}
+    }
+
+    /// Every access costs one CPU cycle.
+    pub fn access(&mut self, at: SimTime) -> Cost {
+        let mut buckets = Buckets::default();
+        buckets.mem += SimTime::from_ns(CYCLE_NS);
+        Cost {
+            finish: at + SimTime::from_ns(CYCLE_NS),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_accesses() {
+        let mut m = PramModel::new();
+        let c = m.access(SimTime::from_ns(90));
+        assert_eq!(c.finish, SimTime::from_ns(120));
+        assert_eq!(c.buckets.mem, SimTime::from_ns(30));
+        assert_eq!(c.buckets.msgs, 0);
+        assert_eq!(c.buckets.latency, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,104 @@
+//! The simulated shared-memory value store.
+
+use std::collections::HashMap;
+
+use crate::Addr;
+
+/// Word-granular storage for simulated shared memory values.
+///
+/// The machine models price *time*; the store holds *data*. Values commit
+/// at an operation's completion time (the engine applies mutations when it
+/// processes the completion event), so overlapping atomic operations
+/// serialize in commit order. Unwritten words read as zero.
+///
+/// Floating-point values are stored as `u64` bit patterns; see
+/// [`ValueStore::read_f64`] / [`ValueStore::write_f64`].
+#[derive(Debug, Clone, Default)]
+pub struct ValueStore {
+    words: HashMap<u64, u64>,
+}
+
+impl ValueStore {
+    /// Creates an empty store (all words zero).
+    pub fn new() -> Self {
+        ValueStore::default()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not word-aligned.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        assert!(addr.is_word_aligned(), "unaligned read at {addr}");
+        self.words.get(&addr.word_index()).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not word-aligned.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        assert!(addr.is_word_aligned(), "unaligned write at {addr}");
+        self.words.insert(addr.word_index(), value);
+    }
+
+    /// Reads the word at `addr` as an `f64` bit pattern.
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_word(addr))
+    }
+
+    /// Writes an `f64` as its bit pattern at `addr`.
+    pub fn write_f64(&mut self, addr: Addr, value: f64) {
+        self.write_word(addr, value.to_bits());
+    }
+
+    /// Number of words that have ever been written.
+    pub fn written_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_words_read_zero() {
+        let s = ValueStore::new();
+        assert_eq!(s.read_word(Addr(0)), 0);
+        assert_eq!(s.read_word(Addr(8192)), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = ValueStore::new();
+        s.write_word(Addr(16), 42);
+        assert_eq!(s.read_word(Addr(16)), 42);
+        assert_eq!(s.read_word(Addr(24)), 0);
+        assert_eq!(s.written_words(), 1);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut s = ValueStore::new();
+        s.write_f64(Addr(8), -1234.5e-6);
+        assert_eq!(s.read_f64(Addr(8)), -1234.5e-6);
+        // NaN bit patterns survive too.
+        s.write_f64(Addr(16), f64::NAN);
+        assert!(s.read_f64(Addr(16)).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        ValueStore::new().read_word(Addr(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_panics() {
+        ValueStore::new().write_word(Addr(9), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Engine-level tests: whole simulations on all four machines.
+
+use spasm_desim::SimTime;
+use spasm_machine::{
+    sync, Engine, MachineKind, MemCtx, Pred, ProcBody, RunError, RunReport, SetupCtx,
+};
+use spasm_topology::Topology;
+
+const ALL_MACHINES: [MachineKind; 4] = [
+    MachineKind::Pram,
+    MachineKind::Target,
+    MachineKind::LogP,
+    MachineKind::CLogP,
+];
+
+fn run(kind: MachineKind, topo: &Topology, setup: SetupCtx, bodies: Vec<ProcBody>) -> RunReport {
+    Engine::new(kind, topo, setup, bodies).run().unwrap()
+}
+
+#[test]
+fn single_processor_compute_only() {
+    for kind in ALL_MACHINES {
+        let topo = Topology::full(1);
+        let setup = SetupCtx::new(1);
+        let bodies: Vec<ProcBody> = vec![Box::new(|_, ctx| {
+            MemCtx::new(ctx).compute(100);
+        })];
+        let r = run(kind, &topo, setup, bodies);
+        assert_eq!(r.exec_time, SimTime::from_ns(3000), "{kind}");
+        assert_eq!(r.totals.busy, SimTime::from_ns(3000));
+        assert_eq!(r.summary.net_messages, 0);
+    }
+}
+
+#[test]
+fn read_write_roundtrip_on_all_machines() {
+    for kind in ALL_MACHINES {
+        let topo = Topology::hypercube(2);
+        let mut setup = SetupCtx::new(2);
+        let a = setup.alloc_init(1, &[7]);
+        let out = setup.alloc(0, 1);
+        let bodies: Vec<ProcBody> = vec![
+            Box::new(move |_, ctx| {
+                let mem = MemCtx::new(ctx);
+                let v = mem.read(a);
+                mem.write(out, v * 2);
+            }),
+            Box::new(|_, _| {}),
+        ];
+        let r = run(kind, &topo, setup, bodies);
+        assert_eq!(r.final_store.read_word(out), 14, "{kind}");
+    }
+}
+
+#[test]
+fn lock_protected_counter_is_atomic_on_all_machines() {
+    for kind in ALL_MACHINES {
+        let p = 4;
+        let topo = Topology::hypercube(p);
+        let mut setup = SetupCtx::new(p);
+        let counter = setup.alloc(0, 1);
+        let lock = setup.alloc(0, 1);
+        let bodies: Vec<ProcBody> = (0..p)
+            .map(|_| {
+                let b: ProcBody = Box::new(move |_, ctx| {
+                    let mem = MemCtx::new(ctx);
+                    for _ in 0..5 {
+                        sync::lock(&mem, lock);
+                        let v = mem.read(counter);
+                        mem.compute(10);
+                        mem.write(counter, v + 1);
+                        sync::unlock(&mem, lock);
+                    }
+                });
+                b
+            })
+            .collect();
+        let r = run(kind, &topo, setup, bodies);
+        assert_eq!(r.final_store.read_word(counter), 20, "{kind}");
+    }
+}
+
+#[test]
+fn barrier_rendezvous_on_all_machines() {
+    for kind in ALL_MACHINES {
+        let p = 4;
+        let topo = Topology::mesh(p);
+        let mut setup = SetupCtx::new(p);
+        let slots = setup.alloc(0, p as u64);
+        let barrier = sync::Barrier::alloc(&mut setup, 0, p);
+        let check = setup.alloc(0, p as u64);
+        let bodies: Vec<ProcBody> = (0..p)
+            .map(|i| {
+                let b: ProcBody = Box::new(move |me, ctx| {
+                    let mem = MemCtx::new(ctx);
+                    let mut bar = barrier.handle();
+                    // Phase 1: everyone writes their slot (staggered work).
+                    mem.compute(10 * (me as u64 + 1));
+                    mem.write(slots.offset_words(me as u64), me as u64 + 100);
+                    bar.wait(&mem);
+                    // Phase 2: everyone reads the *next* processor's slot,
+                    // which is only safe if the barrier held.
+                    let next = (me + 1) % 4;
+                    let v = mem.read(slots.offset_words(next as u64));
+                    mem.write(check.offset_words(me as u64), v);
+                    bar.wait(&mem);
+                });
+                debug_assert!(i < p);
+                b
+            })
+            .collect();
+        let r = run(kind, &topo, setup, bodies);
+        for me in 0..p as u64 {
+            let next = (me + 1) % 4;
+            assert_eq!(
+                r.final_store.read_word(check.offset_words(me)),
+                next + 100,
+                "{kind} proc {me}"
+            );
+        }
+    }
+}
+
+#[test]
+fn condition_flag_signalling() {
+    for kind in ALL_MACHINES {
+        let p = 4;
+        let topo = Topology::full(p);
+        let mut setup = SetupCtx::new(p);
+        let flag = sync::CondFlag::alloc(&mut setup, 0);
+        let seen = setup.alloc(0, p as u64);
+        let bodies: Vec<ProcBody> = (0..p)
+            .map(|i| {
+                let b: ProcBody = Box::new(move |me, ctx| {
+                    let mem = MemCtx::new(ctx);
+                    if me == 0 {
+                        mem.compute(1000); // make waiters actually wait
+                        flag.signal(&mem, 42);
+                        mem.write(seen.offset_words(0), 42);
+                    } else {
+                        let v = flag.wait(&mem);
+                        mem.write(seen.offset_words(me as u64), v);
+                    }
+                });
+                debug_assert!(i < p);
+                b
+            })
+            .collect();
+        let r = run(kind, &topo, setup, bodies);
+        for me in 0..p as u64 {
+            assert_eq!(r.final_store.read_word(seen.offset_words(me)), 42, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn waiters_accumulate_sync_time() {
+    let topo = Topology::full(2);
+    let mut setup = SetupCtx::new(2);
+    let flag = sync::CondFlag::alloc(&mut setup, 0);
+    let bodies: Vec<ProcBody> = vec![
+        Box::new(move |_, ctx| {
+            let mem = MemCtx::new(ctx);
+            mem.compute(100_000); // 3ms of work
+            flag.signal(&mem, 1);
+        }),
+        Box::new(move |_, ctx| {
+            flag.wait(&MemCtx::new(ctx));
+        }),
+    ];
+    let r = run(MachineKind::Target, &topo, setup, bodies);
+    // The waiter spent essentially the whole run spinning.
+    assert!(r.per_proc[1].buckets.sync > SimTime::from_ms(2));
+    // But generated almost no traffic: first and last accesses only.
+    assert!(r.per_proc[1].buckets.msgs <= 6);
+}
+
+#[test]
+fn logp_spinning_generates_traffic_but_cached_machines_do_not() {
+    // The paper's EP observation (§6.2): on the LogP machine every
+    // condition-variable poll is a network access; on CLogP/target only
+    // the first and last.
+    let mut msgs = std::collections::HashMap::new();
+    for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
+        let topo = Topology::full(2);
+        let mut setup = SetupCtx::new(2);
+        let flag = sync::CondFlag::alloc(&mut setup, 0);
+        let bodies: Vec<ProcBody> = vec![
+            Box::new(move |_, ctx| {
+                let mem = MemCtx::new(ctx);
+                mem.compute(10_000);
+                flag.signal(&mem, 1);
+            }),
+            Box::new(move |_, ctx| {
+                flag.wait(&MemCtx::new(ctx));
+            }),
+        ];
+        let r = run(kind, &topo, setup, bodies);
+        msgs.insert(kind.to_string(), r.per_proc[1].buckets.msgs);
+    }
+    assert!(
+        msgs["logp"] > 10 * msgs["clogp"].max(1),
+        "LogP spin must flood the network: {msgs:?}"
+    );
+    assert!(msgs["target"] <= 6);
+    assert!(msgs["clogp"] <= 6);
+}
+
+#[test]
+fn spatial_locality_clogp_fetches_once_logp_four_times() {
+    // Four consecutive words = one cache block (the paper's FFT ~4x
+    // latency factor between LogP and target/CLogP).
+    let mut latency = std::collections::HashMap::new();
+    for kind in [MachineKind::LogP, MachineKind::CLogP] {
+        let topo = Topology::full(2);
+        let mut setup = SetupCtx::new(2);
+        let data = setup.alloc_init(1, &[1, 2, 3, 4]);
+        let out = setup.alloc(0, 1);
+        let bodies: Vec<ProcBody> = vec![
+            Box::new(move |_, ctx| {
+                let mem = MemCtx::new(ctx);
+                let mut sum = 0;
+                for w in 0..4 {
+                    sum += mem.read(data.offset_words(w));
+                }
+                mem.write(out, sum);
+            }),
+            Box::new(|_, _| {}),
+        ];
+        let r = run(kind, &topo, setup, bodies);
+        assert_eq!(r.final_store.read_word(out), 10, "{kind}");
+        latency.insert(kind.to_string(), r.totals.latency.as_ns());
+    }
+    let ratio = latency["logp"] as f64 / latency["clogp"] as f64;
+    assert!(
+        (3.0..=5.0).contains(&ratio),
+        "expected ~4x latency ratio, got {ratio}"
+    );
+}
+
+#[test]
+fn determinism_identical_runs_identical_reports() {
+    for kind in ALL_MACHINES {
+        let mk = || {
+            let p = 4;
+            let topo = Topology::mesh(p);
+            let mut setup = SetupCtx::new(p);
+            let counter = setup.alloc(0, 1);
+            let lock = setup.alloc(0, 1);
+            let bodies: Vec<ProcBody> = (0..p)
+                .map(|_| {
+                    let b: ProcBody = Box::new(move |me, ctx| {
+                        let mem = MemCtx::new(ctx);
+                        mem.compute(me as u64 * 13 + 5);
+                        sync::lock(&mem, lock);
+                        let v = mem.read(counter);
+                        mem.write(counter, v + me as u64);
+                        sync::unlock(&mem, lock);
+                    });
+                    b
+                })
+                .collect();
+            run(kind, &topo, setup, bodies)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.exec_time, b.exec_time, "{kind}");
+        assert_eq!(a.totals.latency, b.totals.latency);
+        assert_eq!(a.totals.contention, b.totals.contention);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.final_store.read_word(spasm_machine::Addr(0)),
+            b.final_store.read_word(spasm_machine::Addr(0))
+        );
+    }
+}
+
+#[test]
+fn panicking_body_reports_error() {
+    let topo = Topology::full(1);
+    let setup = SetupCtx::new(1);
+    let bodies: Vec<ProcBody> = vec![Box::new(|_, _| panic!("app bug"))];
+    match Engine::new(MachineKind::Pram, &topo, setup, bodies).run() {
+        Err(RunError::Panicked { proc: 0, message }) => assert!(message.contains("app bug")),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn lost_wakeup_detected_as_deadlock() {
+    let topo = Topology::full(2);
+    let mut setup = SetupCtx::new(2);
+    let flag = setup.alloc(0, 1);
+    let bodies: Vec<ProcBody> = vec![
+        Box::new(|_, _| {}), // never signals
+        Box::new(move |_, ctx| {
+            MemCtx::new(ctx).wait_until(flag, Pred::Eq(1));
+        }),
+    ];
+    match Engine::new(MachineKind::Target, &topo, setup, bodies).run() {
+        Err(RunError::Deadlock { waiting, .. }) => assert_eq!(waiting, vec![1]),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn exec_time_orders_pram_fastest() {
+    // PRAM <= CLogP <= target <= LogP for a communication-heavy kernel.
+    let mut times = std::collections::HashMap::new();
+    for kind in ALL_MACHINES {
+        let p = 4;
+        let topo = Topology::mesh(p);
+        let mut setup = SetupCtx::new(p);
+        let data = setup.alloc(0, 64);
+        let bodies: Vec<ProcBody> = (0..p)
+            .map(|_| {
+                let b: ProcBody = Box::new(move |me, ctx| {
+                    let mem = MemCtx::new(ctx);
+                    for i in 0..16u64 {
+                        let v = mem.read(data.offset_words(i));
+                        mem.compute(5);
+                        if me == 0 {
+                            mem.write(data.offset_words(48 + i), v + 1);
+                        }
+                    }
+                });
+                b
+            })
+            .collect();
+        times.insert(kind.to_string(), run(kind, &topo, setup, bodies).exec_time);
+    }
+    assert!(times["pram"] < times["clogp"]);
+    assert!(times["clogp"] < times["logp"]);
+    assert!(times["target"] < times["logp"]);
+}
+
+#[test]
+fn rmw_swap_and_fetch_add() {
+    let topo = Topology::full(2);
+    let mut setup = SetupCtx::new(2);
+    let a = setup.alloc_init(1, &[5]);
+    let out = setup.alloc(0, 2);
+    let bodies: Vec<ProcBody> = vec![
+        Box::new(move |_, ctx| {
+            let mem = MemCtx::new(ctx);
+            let old = mem.fetch_add(a, 10);
+            mem.write(out, old);
+            let old2 = mem.swap(a, 99);
+            mem.write(out.offset_words(1), old2);
+        }),
+        Box::new(|_, _| {}),
+    ];
+    let r = run(MachineKind::Target, &topo, setup, bodies);
+    assert_eq!(r.final_store.read_word(out), 5);
+    assert_eq!(r.final_store.read_word(out.offset_words(1)), 15);
+    assert_eq!(r.final_store.read_word(a), 99);
+}
+
+#[test]
+fn f64_values_survive_simulation() {
+    let topo = Topology::full(2);
+    let mut setup = SetupCtx::new(2);
+    let x = setup.alloc_init_f64(1, &[2.5]);
+    let y = setup.alloc(0, 1);
+    let bodies: Vec<ProcBody> = vec![
+        Box::new(move |_, ctx| {
+            let mem = MemCtx::new(ctx);
+            let v = mem.read_f64(x);
+            mem.write_f64(y, v * v);
+        }),
+        Box::new(|_, _| {}),
+    ];
+    let r = run(MachineKind::CLogP, &topo, setup, bodies);
+    assert_eq!(r.final_store.read_f64(y), 6.25);
+}
+
+#[test]
+fn report_metric_helpers() {
+    let topo = Topology::full(2);
+    let mut setup = SetupCtx::new(2);
+    let a = setup.alloc(1, 1);
+    let bodies: Vec<ProcBody> = vec![
+        Box::new(move |_, ctx| {
+            MemCtx::new(ctx).read(a);
+        }),
+        Box::new(|_, _| {}),
+    ];
+    let r = run(MachineKind::LogP, &topo, setup, bodies);
+    assert_eq!(r.procs(), 2);
+    // 2 messages x 1.6us over 2 procs = 1.6us mean.
+    assert!((r.latency_overhead_us() - 1.6).abs() < 1e-9);
+    assert!(r.exec_time_us() >= 3.2);
+    assert!(r.contention_overhead_us() >= 0.0);
+}

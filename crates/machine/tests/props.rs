@@ -1,0 +1,188 @@
+//! Property-based tests of the engine: for data-race-free programs, the
+//! machine model changes *time*, never *semantics* — all four machines
+//! must produce the identical final memory state.
+
+use proptest::prelude::*;
+use spasm_machine::{
+    sync, Addr, Engine, MachineKind, MemCtx, ProcBody, RunReport, SetupCtx,
+};
+use spasm_topology::Topology;
+
+/// A race-free operation in the generated programs.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Charge some computation.
+    Compute(u64),
+    /// Read an arbitrary shared word (reads never race).
+    Read(usize),
+    /// Write a constant to one of the processor's own words.
+    WriteOwn(usize, u64),
+    /// Atomically add to a shared counter (commutative: final value is
+    /// order-independent).
+    Add(usize, u64),
+    /// Lock-protected increment of a shared cell.
+    LockedIncrement(usize),
+    /// Barrier with all processors.
+    Barrier,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..50).prop_map(Op::Compute),
+        (0usize..16).prop_map(Op::Read),
+        ((0usize..4), (0u64..1000)).prop_map(|(s, v)| Op::WriteOwn(s, v)),
+        ((0usize..4), (1u64..9)).prop_map(|(c, n)| Op::Add(c, n)),
+        (0usize..2).prop_map(Op::LockedIncrement),
+        Just(Op::Barrier),
+    ]
+}
+
+/// Per-processor programs; barrier counts must match, so barriers are
+/// appended uniformly afterwards.
+fn arb_programs(p: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let per_proc = prop::collection::vec(arb_op(), 0..25).prop_map(|ops| {
+        // Strip barriers from the random stream; they are re-inserted at
+        // matching positions below.
+        ops.into_iter()
+            .filter(|op| !matches!(op, Op::Barrier))
+            .collect::<Vec<_>>()
+    });
+    (
+        prop::collection::vec(per_proc, p..=p),
+        prop::collection::vec(Just(Op::Barrier), 0..3),
+    )
+        .prop_map(|(mut programs, barriers)| {
+            for program in &mut programs {
+                program.extend(barriers.iter().cloned());
+            }
+            programs
+        })
+}
+
+struct World {
+    shared: Addr,   // 16 read-anywhere words
+    own: Addr,      // 4 words per proc
+    counters: Addr, // 4 fetch-add counters
+    cells: Addr,    // 2 lock-protected cells
+    locks: Addr,    // 2 locks
+}
+
+fn run_world(kind: MachineKind, p: usize, programs: &[Vec<Op>]) -> (World, RunReport) {
+    let topo = Topology::hypercube(p);
+    let mut setup = SetupCtx::new(p);
+    let shared = setup.alloc_init(0, &(0..16u64).collect::<Vec<_>>());
+    let own = setup.alloc(0, (4 * p) as u64);
+    let counters = setup.alloc(0, 4);
+    let cells = setup.alloc(0, 2);
+    let locks = setup.alloc(0, 2);
+    let barrier = sync::Barrier::alloc(&mut setup, 0, p);
+    let world = World {
+        shared,
+        own,
+        counters,
+        cells,
+        locks,
+    };
+
+    let bodies: Vec<ProcBody> = programs
+        .iter()
+        .cloned()
+        .map(|program| {
+            let body: ProcBody = Box::new(move |me, ctx| {
+                let mem = MemCtx::new(ctx);
+                let mut bar = barrier.handle();
+                for op in &program {
+                    match *op {
+                        Op::Compute(c) => mem.compute(c),
+                        Op::Read(w) => {
+                            mem.read(shared.offset_words(w as u64));
+                        }
+                        Op::WriteOwn(slot, v) => {
+                            mem.write(own.offset_words((me * 4 + slot) as u64), v);
+                        }
+                        Op::Add(c, n) => {
+                            mem.fetch_add(counters.offset_words(c as u64), n);
+                        }
+                        Op::LockedIncrement(c) => {
+                            let lock = locks.offset_words(c as u64);
+                            sync::lock(&mem, lock);
+                            let cell = cells.offset_words(c as u64);
+                            let v = mem.read(cell);
+                            mem.write(cell, v + 1);
+                            sync::unlock(&mem, lock);
+                        }
+                        Op::Barrier => bar.wait(&mem),
+                    }
+                }
+            });
+            body
+        })
+        .collect();
+
+    let report = Engine::new(kind, &topo, setup, bodies).run().unwrap();
+    (world, report)
+}
+
+fn snapshot(world: &World, report: &RunReport, p: usize) -> Vec<u64> {
+    let mut v = Vec::new();
+    for w in 0..16 {
+        v.push(report.final_store.read_word(world.shared.offset_words(w)));
+    }
+    for w in 0..(4 * p as u64) {
+        v.push(report.final_store.read_word(world.own.offset_words(w)));
+    }
+    for c in 0..4 {
+        v.push(report.final_store.read_word(world.counters.offset_words(c)));
+    }
+    for c in 0..2 {
+        v.push(report.final_store.read_word(world.cells.offset_words(c)));
+        // Locks must end free.
+        v.push(report.final_store.read_word(world.locks.offset_words(c)));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All four machines agree on the final memory of race-free programs.
+    #[test]
+    fn machines_agree_on_final_memory(programs in arb_programs(4)) {
+        let (w0, r0) = run_world(MachineKind::Pram, 4, &programs);
+        let reference = snapshot(&w0, &r0, 4);
+        for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
+            let (w, r) = run_world(kind, 4, &programs);
+            prop_assert_eq!(&snapshot(&w, &r, 4), &reference, "{} diverged", kind);
+        }
+    }
+
+    /// Execution time is bounded below by the PRAM ideal time on every
+    /// machine (no machine can beat unit-cost conflict-free memory).
+    #[test]
+    fn pram_is_the_floor(programs in arb_programs(2)) {
+        let (_, ideal) = run_world(MachineKind::Pram, 2, &programs);
+        for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
+            let (_, r) = run_world(kind, 2, &programs);
+            prop_assert!(
+                r.exec_time >= ideal.exec_time,
+                "{} finished before the PRAM: {} < {}",
+                kind, r.exec_time, ideal.exec_time
+            );
+        }
+    }
+
+    /// Bucket sanity on every machine: totals are internally consistent.
+    #[test]
+    fn buckets_are_consistent(programs in arb_programs(2)) {
+        for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
+            let (_, r) = run_world(kind, 2, &programs);
+            // Per-proc finish times never exceed the reported exec time.
+            for s in &r.per_proc {
+                prop_assert!(s.finish <= r.exec_time);
+            }
+            // Message byte counts are consistent with message counts.
+            prop_assert!(r.totals.bytes >= r.totals.msgs * 8);
+            prop_assert!(r.totals.bytes <= r.totals.msgs * 32);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! # spasm-topology — interconnection network topologies
+//!
+//! The three network topologies evaluated by the paper (§5):
+//!
+//! * **fully connected** — two serial links (one per direction) between every
+//!   pair of processors;
+//! * **binary hypercube** — one link per direction per cube edge, e-cube
+//!   (dimension-order) routing;
+//! * **2-D mesh** — modelled on the Intel Touchstone Delta: North/South/
+//!   East/West links, X-then-Y (XY) dimension-order routing, equal rows and
+//!   columns when the processor count is an even power of two, otherwise
+//!   twice as many columns as rows.
+//!
+//! This crate is pure combinatorics: node/link naming, deterministic routing
+//! paths, and bisection-width computation (which the LogP abstraction uses
+//! to derive its *g* parameter). The timing model lives in `spasm-net`.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_topology::{NodeId, Topology};
+//!
+//! let mesh = Topology::mesh(16); // 4x4
+//! let path = mesh.route(NodeId(0), NodeId(15));
+//! assert_eq!(path.len(), 6); // 3 hops east + 3 hops south
+//! assert_eq!(mesh.diameter(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod links;
+mod route;
+
+pub use links::LinkTable;
+
+use std::fmt;
+
+/// Identifier of a processing node, `0..p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link, an index into the topology's
+/// [`LinkTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Which of the paper's three interconnects a [`Topology`] instance is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Fully connected: a dedicated link per ordered node pair.
+    Full,
+    /// Binary hypercube with e-cube routing.
+    Hypercube,
+    /// 2-D mesh with XY routing.
+    Mesh2D,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopologyKind::Full => "full",
+            TopologyKind::Hypercube => "cube",
+            TopologyKind::Mesh2D => "mesh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An interconnection network topology over `p` nodes.
+///
+/// Construction validates the processor count (all three topologies in the
+/// study restrict `p` to powers of two, matching the paper).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    p: usize,
+    /// Mesh geometry; rows == cols == 0 for non-mesh topologies.
+    rows: usize,
+    cols: usize,
+    links: LinkTable,
+}
+
+impl Topology {
+    /// Creates a fully connected network over `p` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or not a power of two.
+    pub fn full(p: usize) -> Self {
+        validate_p(p);
+        Topology {
+            kind: TopologyKind::Full,
+            p,
+            rows: 0,
+            cols: 0,
+            links: LinkTable::full(p),
+        }
+    }
+
+    /// Creates a binary hypercube over `p` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or not a power of two.
+    pub fn hypercube(p: usize) -> Self {
+        validate_p(p);
+        Topology {
+            kind: TopologyKind::Hypercube,
+            p,
+            rows: 0,
+            cols: 0,
+            links: LinkTable::hypercube(p),
+        }
+    }
+
+    /// Creates a 2-D mesh over `p` nodes.
+    ///
+    /// Per the paper: equal rows and columns when `p` is an even power of
+    /// two; otherwise the number of columns is twice the number of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or not a power of two.
+    pub fn mesh(p: usize) -> Self {
+        validate_p(p);
+        let (rows, cols) = mesh_shape(p);
+        Topology {
+            kind: TopologyKind::Mesh2D,
+            p,
+            rows,
+            cols,
+            links: LinkTable::mesh(rows, cols),
+        }
+    }
+
+    /// Creates the topology of the given kind over `p` nodes.
+    pub fn of_kind(kind: TopologyKind, p: usize) -> Self {
+        match kind {
+            TopologyKind::Full => Topology::full(p),
+            TopologyKind::Hypercube => Topology::hypercube(p),
+            TopologyKind::Mesh2D => Topology::mesh(p),
+        }
+    }
+
+    /// Which topology family this is.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of processing nodes.
+    pub fn nodes(&self) -> usize {
+        self.p
+    }
+
+    /// The table of unidirectional links.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Mesh geometry as `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a mesh.
+    pub fn mesh_geometry(&self) -> (usize, usize) {
+        assert_eq!(self.kind, TopologyKind::Mesh2D, "not a mesh");
+        (self.rows, self.cols)
+    }
+
+    /// The deterministic route from `src` to `dst` as a sequence of links.
+    ///
+    /// Returns an empty path when `src == dst` (a local access never enters
+    /// the network). Routing is minimal and deterministic: direct link
+    /// (full), lowest-dimension-first e-cube (hypercube), X-then-Y (mesh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        assert!(src.0 < self.p && dst.0 < self.p, "node out of range");
+        if src == dst {
+            return Vec::new();
+        }
+        match self.kind {
+            TopologyKind::Full => vec![self.links.pair_link(src, dst)],
+            TopologyKind::Hypercube => route::ecube(&self.links, src, dst),
+            TopologyKind::Mesh2D => route::xy(&self.links, self.cols, src, dst),
+        }
+    }
+
+    /// Number of hops between two nodes under this topology's routing.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        match self.kind {
+            TopologyKind::Full => usize::from(src != dst),
+            TopologyKind::Hypercube => (src.0 ^ dst.0).count_ones() as usize,
+            TopologyKind::Mesh2D => {
+                let (r1, c1) = (src.0 / self.cols, src.0 % self.cols);
+                let (r2, c2) = (dst.0 / self.cols, dst.0 % self.cols);
+                r1.abs_diff(r2) + c1.abs_diff(c2)
+            }
+        }
+    }
+
+    /// The network diameter (maximum hop count between any node pair).
+    pub fn diameter(&self) -> usize {
+        match self.kind {
+            TopologyKind::Full => usize::from(self.p > 1),
+            TopologyKind::Hypercube => self.p.trailing_zeros() as usize,
+            TopologyKind::Mesh2D => (self.rows - 1) + (self.cols - 1),
+        }
+    }
+
+    /// Number of unidirectional links crossing the canonical bisection.
+    ///
+    /// For the full network every ordered pair with endpoints on opposite
+    /// halves contributes its dedicated link; for the hypercube the cut
+    /// across the top dimension crosses `p` directed links; for the mesh a
+    /// vertical cut between the column halves crosses `2 * rows` directed
+    /// links. Used to derive the LogP *g* parameter from per-processor
+    /// bisection bandwidth.
+    pub fn bisection_links(&self) -> usize {
+        if self.p == 1 {
+            return 1; // degenerate: avoid division by zero downstream
+        }
+        match self.kind {
+            TopologyKind::Full => 2 * (self.p / 2) * (self.p / 2),
+            TopologyKind::Hypercube => self.p,
+            TopologyKind::Mesh2D => 2 * self.rows,
+        }
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.p).map(NodeId)
+    }
+
+    /// Whether a `src → dst` message crosses the canonical bisection used
+    /// by [`Topology::bisection_links`].
+    ///
+    /// For the full network and hypercube the cut is between ids `< p/2`
+    /// and the rest; for the mesh it is the vertical cut between the
+    /// column halves. Used to measure an application's *communication
+    /// locality* — the fraction of its traffic that actually crosses the
+    /// bisection, which the paper's §7 suggests should inform a better
+    /// estimate of the LogP g parameter.
+    pub fn crosses_bisection(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.p < 2 {
+            return false;
+        }
+        match self.kind {
+            TopologyKind::Full | TopologyKind::Hypercube => {
+                (src.0 < self.p / 2) != (dst.0 < self.p / 2)
+            }
+            TopologyKind::Mesh2D => {
+                let half = self.cols / 2;
+                (src.0 % self.cols < half) != (dst.0 % self.cols < half)
+            }
+        }
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes.
+    pub fn mean_hops(&self) -> f64 {
+        if self.p < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for s in 0..self.p {
+            for d in 0..self.p {
+                if s != d {
+                    total += self.hops(NodeId(s), NodeId(d));
+                }
+            }
+        }
+        total as f64 / (self.p * (self.p - 1)) as f64
+    }
+}
+
+fn validate_p(p: usize) {
+    assert!(p > 0, "processor count must be positive");
+    assert!(p.is_power_of_two(), "processor count must be a power of two");
+}
+
+/// Mesh geometry rule from the paper: equal rows and columns for even
+/// powers of two, otherwise twice as many columns as rows.
+fn mesh_shape(p: usize) -> (usize, usize) {
+    let log = p.trailing_zeros();
+    if log.is_multiple_of(2) {
+        let side = 1 << (log / 2);
+        (side, side)
+    } else {
+        let rows = 1 << (log / 2);
+        (rows, rows * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_shape_rule() {
+        assert_eq!(mesh_shape(1), (1, 1));
+        assert_eq!(mesh_shape(2), (1, 2));
+        assert_eq!(mesh_shape(4), (2, 2));
+        assert_eq!(mesh_shape(8), (2, 4));
+        assert_eq!(mesh_shape(16), (4, 4));
+        assert_eq!(mesh_shape(32), (4, 8));
+        assert_eq!(mesh_shape(64), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Topology::full(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_nodes_rejected() {
+        Topology::hypercube(0);
+    }
+
+    #[test]
+    fn full_routes_are_single_hop() {
+        let t = Topology::full(8);
+        for s in t.node_ids() {
+            for d in t.node_ids() {
+                let path = t.route(s, d);
+                if s == d {
+                    assert!(path.is_empty());
+                } else {
+                    assert_eq!(path.len(), 1);
+                    let link = t.links().endpoints(path[0]);
+                    assert_eq!(link, (s, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_route_length_is_hamming_distance() {
+        let t = Topology::hypercube(16);
+        for s in t.node_ids() {
+            for d in t.node_ids() {
+                assert_eq!(t.route(s, d).len(), (s.0 ^ d.0).count_ones() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_route_length_is_manhattan_distance() {
+        let t = Topology::mesh(16);
+        for s in t.node_ids() {
+            for d in t.node_ids() {
+                assert_eq!(t.route(s, d).len(), t.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_connected_chains() {
+        for t in [Topology::full(8), Topology::hypercube(8), Topology::mesh(8)] {
+            for s in t.node_ids() {
+                for d in t.node_ids() {
+                    let path = t.route(s, d);
+                    let mut at = s;
+                    for link in &path {
+                        let (from, to) = t.links().endpoints(*link);
+                        assert_eq!(from, at, "{:?} path breaks at {from}", t.kind());
+                        at = to;
+                    }
+                    assert_eq!(at, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(Topology::full(32).diameter(), 1);
+        assert_eq!(Topology::hypercube(32).diameter(), 5);
+        assert_eq!(Topology::mesh(32).diameter(), 3 + 7); // 4x8
+        assert_eq!(Topology::full(1).diameter(), 0);
+    }
+
+    #[test]
+    fn link_counts() {
+        // full: p(p-1) directed links
+        assert_eq!(Topology::full(8).links().len(), 8 * 7);
+        // cube: p * log2(p) directed links
+        assert_eq!(Topology::hypercube(8).links().len(), 8 * 3);
+        // mesh rows x cols: 2*(rows*(cols-1) + cols*(rows-1))
+        assert_eq!(Topology::mesh(16).links().len(), 2 * (4 * 3 + 4 * 3));
+    }
+
+    #[test]
+    fn bisection_links_counts() {
+        assert_eq!(Topology::full(8).bisection_links(), 2 * 4 * 4);
+        assert_eq!(Topology::hypercube(8).bisection_links(), 8);
+        assert_eq!(Topology::mesh(16).bisection_links(), 8); // 4 rows, both dirs
+        assert_eq!(Topology::full(1).bisection_links(), 1);
+    }
+
+    #[test]
+    fn mean_hops_sanity() {
+        assert!((Topology::full(8).mean_hops() - 1.0).abs() < 1e-12);
+        // hypercube mean distance = dim/2 * p/(p-1)
+        let t = Topology::hypercube(16);
+        let expect = 4.0 / 2.0 * 16.0 / 15.0;
+        assert!((t.mean_hops() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(TopologyKind::Full.to_string(), "full");
+        assert_eq!(TopologyKind::Hypercube.to_string(), "cube");
+        assert_eq!(TopologyKind::Mesh2D.to_string(), "mesh");
+    }
+
+    #[test]
+    fn of_kind_constructor() {
+        for kind in [TopologyKind::Full, TopologyKind::Hypercube, TopologyKind::Mesh2D] {
+            let t = Topology::of_kind(kind, 4);
+            assert_eq!(t.kind(), kind);
+            assert_eq!(t.nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn single_node_topologies_route_nothing() {
+        for t in [Topology::full(1), Topology::hypercube(1), Topology::mesh(1)] {
+            assert!(t.route(NodeId(0), NodeId(0)).is_empty());
+            assert_eq!(t.mean_hops(), 0.0);
+        }
+    }
+
+    #[test]
+    fn bisection_crossing_matches_cut() {
+        let t = Topology::full(8);
+        assert!(t.crosses_bisection(NodeId(0), NodeId(4)));
+        assert!(!t.crosses_bisection(NodeId(0), NodeId(3)));
+        assert!(!t.crosses_bisection(NodeId(5), NodeId(7)));
+        // Mesh: vertical cut between column halves (2x4 mesh, cols 0-1 vs 2-3).
+        let m = Topology::mesh(8);
+        assert!(m.crosses_bisection(NodeId(1), NodeId(2)));
+        assert!(!m.crosses_bisection(NodeId(0), NodeId(5))); // cols 0 and 1
+        assert!(m.crosses_bisection(NodeId(4), NodeId(7)));
+        // Degenerate single node.
+        assert!(!Topology::full(1).crosses_bisection(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn bisection_crossing_is_symmetric() {
+        for t in [Topology::full(16), Topology::hypercube(16), Topology::mesh(16)] {
+            for s in t.node_ids() {
+                for d in t.node_ids() {
+                    assert_eq!(t.crosses_bisection(s, d), t.crosses_bisection(d, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_geometry_accessor() {
+        assert_eq!(Topology::mesh(32).mesh_geometry(), (4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a mesh")]
+    fn mesh_geometry_on_non_mesh_panics() {
+        Topology::full(4).mesh_geometry();
+    }
+}

@@ -1,0 +1,182 @@
+//! Link enumeration for the three topologies.
+
+use std::collections::HashMap;
+
+use crate::{LinkId, NodeId};
+
+/// The set of unidirectional links of a topology.
+///
+/// Links are identified by dense indices (`LinkId`) so that the network
+/// simulator can keep per-link state in flat vectors. The table maps both
+/// ways: link id → `(src, dst)` endpoints, and `(src, dst)` → link id for
+/// adjacent node pairs.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    endpoints: Vec<(NodeId, NodeId)>,
+    by_pair: HashMap<(usize, usize), LinkId>,
+}
+
+impl LinkTable {
+    fn from_pairs(pairs: Vec<(usize, usize)>) -> Self {
+        let mut by_pair = HashMap::with_capacity(pairs.len());
+        let endpoints: Vec<(NodeId, NodeId)> = pairs
+            .iter()
+            .map(|&(a, b)| (NodeId(a), NodeId(b)))
+            .collect();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let prev = by_pair.insert((a, b), LinkId(i));
+            debug_assert!(prev.is_none(), "duplicate link {a}->{b}");
+        }
+        LinkTable { endpoints, by_pair }
+    }
+
+    /// Links of the fully connected network: one per ordered pair.
+    pub(crate) fn full(p: usize) -> Self {
+        let mut pairs = Vec::with_capacity(p.saturating_mul(p.saturating_sub(1)));
+        for a in 0..p {
+            for b in 0..p {
+                if a != b {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        LinkTable::from_pairs(pairs)
+    }
+
+    /// Links of the binary hypercube: one per direction per edge.
+    pub(crate) fn hypercube(p: usize) -> Self {
+        let dims = p.trailing_zeros() as usize;
+        let mut pairs = Vec::with_capacity(p * dims);
+        for a in 0..p {
+            for d in 0..dims {
+                pairs.push((a, a ^ (1 << d)));
+            }
+        }
+        LinkTable::from_pairs(pairs)
+    }
+
+    /// Links of the 2-D mesh: N/S/E/W neighbour links, no wraparound.
+    pub(crate) fn mesh(rows: usize, cols: usize) -> Self {
+        let mut pairs = Vec::new();
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    pairs.push((id(r, c), id(r, c + 1)));
+                    pairs.push((id(r, c + 1), id(r, c)));
+                }
+                if r + 1 < rows {
+                    pairs.push((id(r, c), id(r + 1, c)));
+                    pairs.push((id(r + 1, c), id(r, c)));
+                }
+            }
+        }
+        LinkTable::from_pairs(pairs)
+    }
+
+    /// Number of unidirectional links.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Returns `true` if the topology has no links (single node).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The `(src, dst)` endpoints of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link id is out of range.
+    pub fn endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.endpoints[link.0]
+    }
+
+    /// The link from `src` to `dst`, which must be adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no direct link exists between the pair.
+    pub fn pair_link(&self, src: NodeId, dst: NodeId) -> LinkId {
+        self.by_pair
+            .get(&(src.0, dst.0))
+            .copied()
+            .unwrap_or_else(|| panic!("no link {src}->{dst}"))
+    }
+
+    /// The link from `src` to `dst` if the pair is adjacent.
+    pub fn try_pair_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.by_pair.get(&(src.0, dst.0)).copied()
+    }
+
+    /// Iterates over `(LinkId, src, dst)` for all links.
+    pub fn iter(&self) -> impl Iterator<Item = (LinkId, NodeId, NodeId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (LinkId(i), a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_links_cover_all_ordered_pairs() {
+        let t = LinkTable::full(4);
+        assert_eq!(t.len(), 12);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    let l = t.pair_link(NodeId(a), NodeId(b));
+                    assert_eq!(t.endpoints(l), (NodeId(a), NodeId(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_links_connect_hamming_neighbours() {
+        let t = LinkTable::hypercube(8);
+        for (_, a, b) in t.iter() {
+            assert_eq!((a.0 ^ b.0).count_ones(), 1);
+        }
+        // every directed edge has a reverse
+        for (_, a, b) in t.iter() {
+            assert!(t.try_pair_link(b, a).is_some());
+        }
+    }
+
+    #[test]
+    fn mesh_links_connect_grid_neighbours() {
+        let t = LinkTable::mesh(2, 4);
+        assert_eq!(t.len(), 2 * (2 * 3 + 4));
+        for (_, a, b) in t.iter() {
+            let (r1, c1) = (a.0 / 4, a.0 % 4);
+            let (r2, c2) = (b.0 / 4, b.0 % 4);
+            assert_eq!(r1.abs_diff(r2) + c1.abs_diff(c2), 1);
+        }
+    }
+
+    #[test]
+    fn try_pair_link_absent_for_non_neighbours() {
+        let t = LinkTable::mesh(2, 2);
+        assert!(t.try_pair_link(NodeId(0), NodeId(3)).is_none());
+        assert!(t.try_pair_link(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn pair_link_panics_for_non_neighbours() {
+        LinkTable::mesh(2, 2).pair_link(NodeId(0), NodeId(3));
+    }
+
+    #[test]
+    fn single_node_has_no_links() {
+        assert!(LinkTable::full(1).is_empty());
+        assert!(LinkTable::hypercube(1).is_empty());
+        assert!(LinkTable::mesh(1, 1).is_empty());
+    }
+}

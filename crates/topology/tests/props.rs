@@ -1,0 +1,101 @@
+//! Property-based tests for topology invariants.
+
+use proptest::prelude::*;
+use spasm_topology::{NodeId, Topology, TopologyKind};
+
+fn arb_kind() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Full),
+        Just(TopologyKind::Hypercube),
+        Just(TopologyKind::Mesh2D),
+    ]
+}
+
+fn arb_p() -> impl Strategy<Value = usize> {
+    (0u32..=6).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    /// Every route is a connected chain from src to dst.
+    #[test]
+    fn routes_connect(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        let (s, d) = (NodeId(s % p), NodeId(d % p));
+        let path = t.route(s, d);
+        let mut at = s;
+        for link in &path {
+            let (from, to) = t.links().endpoints(*link);
+            prop_assert_eq!(from, at);
+            at = to;
+        }
+        prop_assert_eq!(at, d);
+    }
+
+    /// Routes are minimal: the path length equals the topology's hop metric.
+    #[test]
+    fn routes_minimal(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        let (s, d) = (NodeId(s % p), NodeId(d % p));
+        prop_assert_eq!(t.route(s, d).len(), t.hops(s, d));
+    }
+
+    /// A route never visits the same link twice (simple path).
+    #[test]
+    fn routes_simple(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        let path = t.route(NodeId(s % p), NodeId(d % p));
+        let mut seen = std::collections::HashSet::new();
+        for link in &path {
+            prop_assert!(seen.insert(link.0));
+        }
+    }
+
+    /// Hop counts never exceed the diameter.
+    #[test]
+    fn hops_bounded_by_diameter(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        prop_assert!(t.hops(NodeId(s % p), NodeId(d % p)) <= t.diameter());
+    }
+
+    /// The hop metric is symmetric for all three topologies.
+    #[test]
+    fn hops_symmetric(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        let (s, d) = (NodeId(s % p), NodeId(d % p));
+        prop_assert_eq!(t.hops(s, d), t.hops(d, s));
+    }
+
+    /// Deterministic routing: two calls give the identical path.
+    #[test]
+    fn routes_deterministic(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+        let t = Topology::of_kind(kind, p);
+        let (s, d) = (NodeId(s % p), NodeId(d % p));
+        prop_assert_eq!(t.route(s, d), t.route(s, d));
+    }
+
+    /// Every link is used by at least one route (no dead links), p >= 2.
+    #[test]
+    fn all_links_reachable(kind in arb_kind(), e in 1u32..=5) {
+        let p = 1usize << e;
+        let t = Topology::of_kind(kind, p);
+        let mut used = vec![false; t.links().len()];
+        for s in t.node_ids() {
+            for d in t.node_ids() {
+                for link in t.route(s, d) {
+                    used[link.0] = true;
+                }
+            }
+        }
+        prop_assert!(used.iter().all(|&u| u), "{kind:?} p={p} has unused links");
+    }
+
+    /// Bisection width is positive and bounded by the total link count.
+    #[test]
+    fn bisection_sane(kind in arb_kind(), e in 1u32..=6) {
+        let p = 1usize << e;
+        let t = Topology::of_kind(kind, p);
+        let b = t.bisection_links();
+        prop_assert!(b > 0);
+        prop_assert!(b <= t.links().len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Writing your own workload against the public API: a parallel 1-D
+//! Jacobi (3-point stencil) relaxation, built directly on the engine,
+//! synchronization library, and machine models.
+//!
+//! Shows the full downstream-user story:
+//!
+//! 1. allocate distributed shared data with `SetupCtx`;
+//! 2. write per-processor bodies as ordinary blocking Rust using `MemCtx`
+//!    (reads/writes/compute) and `sync` (barriers);
+//! 3. run on any machine characterization and compare overheads;
+//! 4. verify the numeric result from the final value store.
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use spasm::machine::{sync, Addr, Engine, MachineKind, MemCtx, ProcBody, SetupCtx};
+use spasm::topology::Topology;
+
+const N: usize = 128; // interior points
+const STEPS: usize = 8;
+
+/// One Jacobi sweep in plain Rust — the verification reference.
+fn reference() -> Vec<f64> {
+    let mut cur = vec![0.0f64; N + 2];
+    cur[0] = 1.0;
+    cur[N + 1] = -1.0;
+    let mut next = cur.clone();
+    for _ in 0..STEPS {
+        for i in 1..=N {
+            next[i] = 0.5 * (cur[i - 1] + cur[i + 1]);
+        }
+        next[0] = cur[0];
+        next[N + 1] = cur[N + 1];
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+fn main() {
+    let p = 4;
+    let topo = Topology::hypercube(p);
+    let mut last_profile = None;
+
+    for kind in [MachineKind::Target, MachineKind::CLogP, MachineKind::LogP] {
+        let mut setup = SetupCtx::new(p);
+        // Two ping-pong grids of N+2 points, block-distributed.
+        let chunk = (N + 2).div_ceil(p);
+        let alloc_grid = |setup: &mut SetupCtx| -> Vec<Addr> {
+            (0..p).map(|home| setup.alloc(home, chunk as u64)).collect()
+        };
+        let grid_a = alloc_grid(&mut setup);
+        let grid_b = alloc_grid(&mut setup);
+        let addr = move |bases: &[Addr], i: usize| -> Addr {
+            bases[i / chunk].offset_words((i % chunk) as u64)
+        };
+        // Boundary conditions.
+        setup.init_f64(addr(&grid_a, 0), 1.0);
+        setup.init_f64(addr(&grid_a, N + 1), -1.0);
+        setup.init_f64(addr(&grid_b, 0), 1.0);
+        setup.init_f64(addr(&grid_b, N + 1), -1.0);
+        let barrier = sync::Barrier::alloc(&mut setup, 0, p);
+
+        let bodies: Vec<ProcBody> = (0..p)
+            .map(|_| {
+                let a = grid_a.clone();
+                let b = grid_b.clone();
+                let body: ProcBody = Box::new(move |me, ctx| {
+                    let mem = MemCtx::new(ctx);
+                    let mut bar = barrier.handle();
+                    let lo = (me * chunk).max(1);
+                    let hi = ((me + 1) * chunk).min(N + 1);
+                    let (mut src, mut dst) = (&a, &b);
+                    for _ in 0..STEPS {
+                        for i in lo..hi {
+                            // Halo reads at chunk edges are remote: the
+                            // stencil's only communication.
+                            let left = mem.read_f64(addr(src, i - 1));
+                            let right = mem.read_f64(addr(src, i + 1));
+                            mem.compute(4);
+                            mem.write_f64(addr(dst, i), 0.5 * (left + right));
+                        }
+                        bar.wait(&mem);
+                        std::mem::swap(&mut src, &mut dst);
+                    }
+                });
+                body
+            })
+            .collect();
+
+        let report = Engine::new(kind, &topo, setup, bodies).run().unwrap();
+
+        // Verify against the plain-Rust reference.
+        let want = reference();
+        let final_grid = if STEPS.is_multiple_of(2) { &grid_a } else { &grid_b };
+        let mut max_err = 0.0f64;
+        for (i, &w) in want.iter().enumerate() {
+            let got = report.final_store.read_f64(addr(final_grid, i));
+            max_err = max_err.max((got - w).abs());
+        }
+        assert!(max_err < 1e-12, "stencil diverged: {max_err}");
+
+        println!(
+            "{:>7}: exec {:>9.1}us  latency {:>8.1}us  contention {:>8.1}us  msgs {:>6}  (verified, max err {max_err:.1e})",
+            kind.to_string(),
+            report.exec_time_us(),
+            report.latency_overhead_us(),
+            report.contention_overhead_us(),
+            report.summary.net_messages,
+        );
+        last_profile = Some(report.profile());
+    }
+    println!(
+        "\nHalo exchange is nearest-neighbour and cache-friendly: the ideal\n\
+         coherent cache (CLogP) needs one block fetch per halo while the\n\
+         cache-less LogP machine re-fetches every word, every step."
+    );
+    println!("\nSPASM-style profile of the last (LogP) run:");
+    println!("{}", last_profile.expect("at least one run"));
+}

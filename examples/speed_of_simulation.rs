@@ -1,0 +1,69 @@
+//! Reproduces §7 "Speed of Simulation": how fast is each machine
+//! characterization to *simulate*?
+//!
+//! The paper's counter-intuitive finding: the most abstract machine (LogP)
+//! is the *slowest* to simulate — ignoring locality turns cache hits into
+//! simulated network events — while CLogP is ~25–30 % faster than the
+//! full target simulation.
+//!
+//! ```text
+//! cargo run --release --example speed_of_simulation
+//! ```
+
+use std::time::Duration;
+
+use spasm::apps::{AppId, SizeClass};
+use spasm::core::{Experiment, Machine, Net};
+
+fn main() {
+    println!(
+        "{:>9} {:>10} {:>10} {:>10}   {:>8} {:>10} {:>10}",
+        "app", "target", "clogp", "logp", "", "clogp/tgt", "logp/tgt"
+    );
+    let mut total = [Duration::ZERO; 3];
+    for app in AppId::ALL {
+        let mut wall = [Duration::ZERO; 3];
+        let mut events = [0u64; 3];
+        for (i, machine) in [Machine::Target, Machine::CLogP, Machine::LogP]
+            .into_iter()
+            .enumerate()
+        {
+            // Median of three runs to steady the measurement.
+            let mut samples: Vec<(Duration, u64)> = (0..3)
+                .map(|_| {
+                    let m = Experiment {
+                        app,
+                        size: SizeClass::Small,
+                        net: Net::Full,
+                        machine,
+                        procs: 8,
+                        seed: 1995,
+                    }
+                    .run()
+                    .expect("verified run");
+                    (m.wall, m.events)
+                })
+                .collect();
+            samples.sort();
+            (wall[i], events[i]) = samples[1];
+            total[i] += wall[i];
+        }
+        println!(
+            "{:>9} {:>9.1?} {:>9.1?} {:>9.1?}   events {:>10} {:>10}",
+            app.to_string(),
+            wall[0],
+            wall[1],
+            wall[2],
+            events[1] as i64 - events[0] as i64,
+            events[2] as i64 - events[0] as i64,
+        );
+    }
+    println!(
+        "\ntotals: target {:.1?}, clogp {:.1?} ({:.0}% of target), logp {:.1?} ({:.0}% of target)",
+        total[0],
+        total[1],
+        100.0 * total[1].as_secs_f64() / total[0].as_secs_f64(),
+        total[2],
+        100.0 * total[2].as_secs_f64() / total[0].as_secs_f64(),
+    );
+}

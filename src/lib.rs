@@ -1,0 +1,57 @@
+//! # spasm — facade crate for the `spasm-rs` workspace
+//!
+//! A Rust reproduction of *"Abstracting Network Characteristics and
+//! Locality Properties of Parallel Systems"* (Sivasubramaniam, Singla,
+//! Ramachandran & Venkateswaran, HPCA-1, 1995): an execution-driven
+//! simulator for CC-NUMA shared-memory machines, the LogP and
+//! ideal-coherent-cache (CLogP) abstractions of them, the paper's
+//! five-application suite, and the harness that regenerates every figure
+//! of its evaluation.
+//!
+//! This crate re-exports the workspace's public API under one roof:
+//!
+//! * [`desim`] — deterministic discrete-event kernel and coroutine
+//!   processes;
+//! * [`topology`] — fully connected / hypercube / mesh networks and
+//!   routing;
+//! * [`net`] — the link-level circuit-switched wormhole network;
+//! * [`logp`] — the LogP L/g parameters and gap enforcement;
+//! * [`cache`] — set-associative caches, Berkeley protocol, directory;
+//! * [`machine`] — the four machine characterizations and the
+//!   execution-driven engine;
+//! * [`apps`] — EP, FFT, IS, CG, CHOLESKY;
+//! * [`core`] — experiments, SPASM overhead separation, figure harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spasm::core::{Experiment, Machine, Net};
+//! use spasm::apps::{AppId, SizeClass};
+//!
+//! let metrics = Experiment {
+//!     app: AppId::Is,
+//!     size: SizeClass::Test,
+//!     net: Net::Mesh,
+//!     machine: Machine::Target,
+//!     procs: 4,
+//!     seed: 42,
+//! }
+//! .run()
+//! .unwrap();
+//! println!(
+//!     "exec {:.1}us, latency {:.1}us, contention {:.1}us",
+//!     metrics.exec_us, metrics.latency_us, metrics.contention_us
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spasm_apps as apps;
+pub use spasm_cache as cache;
+pub use spasm_core as core;
+pub use spasm_desim as desim;
+pub use spasm_logp as logp;
+pub use spasm_machine as machine;
+pub use spasm_net as net;
+pub use spasm_topology as topology;

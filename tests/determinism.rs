@@ -1,0 +1,87 @@
+//! Whole-stack determinism: repeated simulations are bit-identical in
+//! every reported metric, for every machine — the property that makes the
+//! paper's model-vs-model comparisons meaningful.
+
+use spasm::apps::{AppId, SizeClass};
+use spasm::core::{Experiment, Machine, Net, RunMetrics};
+
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.exec_us.to_bits(),
+        m.latency_us.to_bits(),
+        m.contention_us.to_bits(),
+        m.messages,
+        m.bytes,
+        m.events,
+    )
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for machine in [Machine::Pram, Machine::Target, Machine::LogP, Machine::CLogP] {
+        for app in [AppId::Is, AppId::Cholesky] {
+            let exp = Experiment {
+                app,
+                size: SizeClass::Test,
+                net: Net::Mesh,
+                machine,
+                procs: 4,
+                seed: 11,
+            };
+            let a = exp.run().unwrap();
+            let b = exp.run().unwrap();
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{app} on {machine} must be deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_dynamic_behaviour() {
+    // CHOLESKY's matrix (and so its task graph) depends on the seed.
+    let run = |seed| {
+        Experiment {
+            app: AppId::Cholesky,
+            size: SizeClass::Test,
+            net: Net::Full,
+            machine: Machine::Target,
+            procs: 4,
+            seed,
+        }
+        .run()
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different seeds should change the workload"
+    );
+}
+
+#[test]
+fn machine_models_differ_from_each_other() {
+    // Sanity against accidental aliasing of the machine models.
+    let run = |machine| {
+        Experiment {
+            app: AppId::Is,
+            size: SizeClass::Test,
+            net: Net::Mesh,
+            machine,
+            procs: 8,
+            seed: 11,
+        }
+        .run()
+        .unwrap()
+    };
+    let target = run(Machine::Target);
+    let logp = run(Machine::LogP);
+    let clogp = run(Machine::CLogP);
+    assert_ne!(fingerprint(&target), fingerprint(&logp));
+    assert_ne!(fingerprint(&target), fingerprint(&clogp));
+    assert_ne!(fingerprint(&logp), fingerprint(&clogp));
+}

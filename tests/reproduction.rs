@@ -1,0 +1,218 @@
+//! Integration tests pinning the paper's qualitative results (R1–R6 in
+//! DESIGN.md) at test scale. These are the claims EXPERIMENTS.md reports
+//! at figure scale; here they are asserted on every `cargo test`.
+
+use spasm::apps::{AppId, SizeClass};
+use spasm::core::{Experiment, Machine, Net, RunMetrics};
+
+fn run(app: AppId, net: Net, machine: Machine, procs: usize) -> RunMetrics {
+    Experiment {
+        app,
+        size: SizeClass::Test,
+        net,
+        machine,
+        procs,
+        seed: 1995,
+    }
+    .run()
+    .unwrap_or_else(|e| panic!("{app} on {machine}/{net}/{procs}: {e}"))
+}
+
+/// R1 — the latency overhead of the CLogP abstraction tracks the target
+/// machine closely for every application.
+#[test]
+fn r1_clogp_latency_tracks_target() {
+    for app in AppId::ALL {
+        let target = run(app, Net::Full, Machine::Target, 8);
+        let clogp = run(app, Net::Full, Machine::CLogP, 8);
+        let ratio = clogp.latency_us / target.latency_us.max(1e-9);
+        assert!(
+            (0.5..=1.6).contains(&ratio),
+            "{app}: CLogP latency {:.1}us vs target {:.1}us (ratio {ratio:.2})",
+            clogp.latency_us,
+            target.latency_us
+        );
+    }
+}
+
+/// R1 (detail) — for FFT, the cache-less LogP machine's latency overhead
+/// is roughly 4x the target's (one 4-word cache block per fetch).
+#[test]
+fn r1_fft_logp_latency_is_about_4x() {
+    let target = run(AppId::Fft, Net::Full, Machine::Target, 8);
+    let logp = run(AppId::Fft, Net::Full, Machine::LogP, 8);
+    let ratio = logp.latency_us / target.latency_us;
+    assert!(
+        (2.5..=5.5).contains(&ratio),
+        "FFT LogP/target latency ratio {ratio:.2}, expected ~4"
+    );
+}
+
+/// R2 — the bisection-derived g parameter makes the abstracted machines'
+/// contention pessimistic relative to the target, and the pessimism grows
+/// as connectivity drops (full -> mesh).
+#[test]
+fn r2_g_contention_is_pessimistic_and_grows_with_lower_connectivity() {
+    for app in [AppId::Fft, AppId::Cg, AppId::Is] {
+        let gap = |net| {
+            let t = run(app, net, Machine::Target, 8);
+            let c = run(app, net, Machine::CLogP, 8);
+            c.contention_us - t.contention_us
+        };
+        let (g_full, g_cube, g_mesh) = (gap(Net::Full), gap(Net::Cube), gap(Net::Mesh));
+        assert!(
+            g_full < g_cube && g_cube < g_mesh,
+            "{app}: pessimism gap should grow full->cube->mesh \
+             ({g_full:.1} -> {g_cube:.1} -> {g_mesh:.1} us)"
+        );
+        assert!(
+            g_mesh > 0.0,
+            "{app}: mesh contention must be pessimistic ({g_mesh:.1} us)"
+        );
+    }
+}
+
+/// R3 — ignoring locality entirely is wrong: the LogP machine's execution
+/// time is far above the target for the communication-heavy applications.
+#[test]
+fn r3_logp_execution_diverges_for_communication_heavy_apps() {
+    for app in [AppId::Is, AppId::Cg, AppId::Cholesky] {
+        let target = run(app, Net::Full, Machine::Target, 8);
+        let logp = run(app, Net::Full, Machine::LogP, 8);
+        let ratio = logp.exec_us / target.exec_us;
+        assert!(
+            ratio > 1.5,
+            "{app}: LogP exec {:.0}us vs target {:.0}us (ratio {ratio:.2})",
+            logp.exec_us,
+            target.exec_us
+        );
+    }
+}
+
+/// R3 (contrast) — EP computes so much that all machines agree on its
+/// execution time (paper Figure 12).
+#[test]
+fn r3_ep_execution_agrees_across_machines() {
+    let target = run(AppId::Ep, Net::Full, Machine::Target, 8);
+    for machine in [Machine::LogP, Machine::CLogP] {
+        let m = run(AppId::Ep, Net::Full, machine, 8);
+        let ratio = m.exec_us / target.exec_us;
+        assert!(
+            (0.8..=1.4).contains(&ratio),
+            "EP on {machine}: exec ratio {ratio:.2}, expected ~1"
+        );
+    }
+}
+
+/// R4 — the ideal coherent cache (CLogP) closely models the target's
+/// execution time across the suite on the fully connected network.
+#[test]
+fn r4_clogp_execution_tracks_target_on_full() {
+    for app in AppId::ALL {
+        let target = run(app, Net::Full, Machine::Target, 8);
+        let clogp = run(app, Net::Full, Machine::CLogP, 8);
+        let ratio = clogp.exec_us / target.exec_us;
+        assert!(
+            (0.6..=2.1).contains(&ratio),
+            "{app}: CLogP exec {:.0}us vs target {:.0}us (ratio {ratio:.2})",
+            clogp.exec_us,
+            target.exec_us
+        );
+    }
+}
+
+/// R4 (traffic) — CLogP's message count is a *lower bound* on the
+/// target's (it is the minimum any invalidation protocol could achieve),
+/// and not wildly below it.
+#[test]
+fn r4_clogp_messages_lower_bound_target() {
+    for app in AppId::ALL {
+        let target = run(app, Net::Full, Machine::Target, 8);
+        let clogp = run(app, Net::Full, Machine::CLogP, 8);
+        assert!(
+            clogp.messages <= target.messages,
+            "{app}: CLogP sent more messages ({}) than the full protocol ({})",
+            clogp.messages,
+            target.messages
+        );
+        assert!(
+            clogp.messages * 8 >= target.messages,
+            "{app}: CLogP traffic implausibly low ({} vs {})",
+            clogp.messages,
+            target.messages
+        );
+    }
+}
+
+/// R5 — simulation cost ordering by simulator events: abstracting
+/// locality away (LogP) makes the simulation *more* expensive than the
+/// target's, while the ideal cache (CLogP) makes it cheaper.
+#[test]
+fn r5_event_counts_order_logp_heaviest() {
+    for app in [AppId::Ep, AppId::Cg, AppId::Cholesky] {
+        let target = run(app, Net::Full, Machine::Target, 8);
+        let logp = run(app, Net::Full, Machine::LogP, 8);
+        let clogp = run(app, Net::Full, Machine::CLogP, 8);
+        assert!(
+            logp.events > target.events,
+            "{app}: LogP events {} must exceed target {}",
+            logp.events,
+            target.events
+        );
+        assert!(
+            clogp.events <= target.events,
+            "{app}: CLogP events {} must not exceed target {}",
+            clogp.events,
+            target.events
+        );
+    }
+}
+
+/// R6 — enforcing the gap only between identical communication events
+/// (the paper's §7 experiment) brings FFT-on-cube contention much closer
+/// to the target than the unified LogP definition.
+#[test]
+fn r6_per_event_type_gap_reduces_pessimism() {
+    let target = run(AppId::Fft, Net::Cube, Machine::Target, 8);
+    let unified = run(AppId::Fft, Net::Cube, Machine::CLogP, 8);
+    let per_type = run(AppId::Fft, Net::Cube, Machine::CLogPPerEventGap, 8);
+    let err_unified = (unified.contention_us - target.contention_us).abs();
+    let err_per_type = (per_type.contention_us - target.contention_us).abs();
+    assert!(
+        err_per_type < err_unified,
+        "per-event-type gap should be closer to the target: |{:.1}-{:.1}| vs |{:.1}-{:.1}|",
+        per_type.contention_us,
+        target.contention_us,
+        unified.contention_us,
+        target.contention_us
+    );
+}
+
+/// The latency overhead is essentially topology-independent on the target
+/// (transmission dominates hop count — paper §6.1).
+#[test]
+fn latency_is_topology_insensitive_on_target() {
+    let full = run(AppId::Cg, Net::Full, Machine::Target, 8);
+    let cube = run(AppId::Cg, Net::Cube, Machine::Target, 8);
+    let mesh = run(AppId::Cg, Net::Mesh, Machine::Target, 8);
+    for (name, m) in [("cube", &cube), ("mesh", &mesh)] {
+        let ratio = m.latency_us / full.latency_us;
+        assert!(
+            (0.85..=1.25).contains(&ratio),
+            "latency should barely depend on topology; full vs {name}: {ratio:.2}"
+        );
+    }
+}
+
+/// Contention, by contrast, grows as connectivity drops.
+#[test]
+fn contention_grows_with_lower_connectivity_on_target() {
+    let full = run(AppId::Is, Net::Full, Machine::Target, 16);
+    let mesh = run(AppId::Is, Net::Mesh, Machine::Target, 16);
+    assert!(
+        mesh.contention_us > full.contention_us,
+        "mesh contention {:.1} should exceed full {:.1}",
+        mesh.contention_us,
+        full.contention_us
+    );
+}

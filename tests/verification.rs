@@ -1,0 +1,79 @@
+//! Cross-crate correctness: every application produces a verified
+//! numerical result on every machine characterization and network, at
+//! several processor counts — the execution-driven simulator never
+//! corrupts application semantics.
+
+use spasm::apps::{AppId, SizeClass};
+use spasm::core::{Experiment, Machine, Net};
+
+#[test]
+fn all_apps_verify_on_all_machines_and_networks() {
+    for app in AppId::ALL {
+        for net in Net::ALL {
+            for machine in [Machine::Pram, Machine::Target, Machine::LogP, Machine::CLogP] {
+                Experiment {
+                    app,
+                    size: SizeClass::Test,
+                    net,
+                    machine,
+                    procs: 4,
+                    seed: 7,
+                }
+                .run()
+                .unwrap_or_else(|e| panic!("{app} on {machine}/{net}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_apps_verify_across_processor_counts() {
+    for app in AppId::ALL {
+        for procs in [1usize, 2, 8, 16] {
+            Experiment {
+                app,
+                size: SizeClass::Test,
+                net: Net::Mesh,
+                machine: Machine::Target,
+                procs,
+                seed: 23,
+            }
+            .run()
+            .unwrap_or_else(|e| panic!("{app} on {procs} procs: {e}"));
+        }
+    }
+}
+
+#[test]
+fn seeds_change_workloads_but_not_correctness() {
+    for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        for app in AppId::ALL {
+            Experiment {
+                app,
+                size: SizeClass::Test,
+                net: Net::Cube,
+                machine: Machine::CLogP,
+                procs: 4,
+                seed,
+            }
+            .run()
+            .unwrap_or_else(|e| panic!("{app} seed {seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn ablation_machine_also_verifies_everything() {
+    for app in AppId::ALL {
+        Experiment {
+            app,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine: Machine::CLogPPerEventGap,
+            procs: 4,
+            seed: 7,
+        }
+        .run()
+        .unwrap_or_else(|e| panic!("{app}: {e}"));
+    }
+}
