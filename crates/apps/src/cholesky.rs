@@ -125,7 +125,8 @@ impl App for Cholesky {
                     let pos = |col: usize, row: usize| -> u64 {
                         pattern[col]
                             .binary_search(&row)
-                            .unwrap_or_else(|_| panic!("row {row} not in column {col}")) as u64
+                            .unwrap_or_else(|_| panic!("row {row} not in column {col}"))
+                            as u64
                     };
 
                     loop {
@@ -293,6 +294,9 @@ mod tests {
             (built.verify)(&r.final_store).unwrap();
             times.push(r.exec_time);
         }
-        assert_ne!(times[0], times[1], "models should time the queue differently");
+        assert_ne!(
+            times[0], times[1],
+            "models should time the queue differently"
+        );
     }
 }

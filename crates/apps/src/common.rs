@@ -1,7 +1,6 @@
 //! Shared helpers for the application kernels.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spasm_prng::StdRng;
 
 /// Deterministic per-processor RNG: mixes the run seed and processor id so
 /// every machine model sees the identical workload.
@@ -32,13 +31,13 @@ pub(crate) fn close(a: f64, b: f64, tol: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use spasm_prng::Rng;
 
     #[test]
     fn proc_rngs_differ_and_are_stable() {
-        let a: u64 = proc_rng(1, 0).gen();
-        let b: u64 = proc_rng(1, 1).gen();
-        let a2: u64 = proc_rng(1, 0).gen();
+        let a: u64 = proc_rng(1, 0).next_u64();
+        let b: u64 = proc_rng(1, 1).next_u64();
+        let a2: u64 = proc_rng(1, 0).next_u64();
         assert_ne!(a, b);
         assert_eq!(a, a2);
     }

@@ -4,7 +4,7 @@ use spasm_machine::{sync, MemCtx, Pred, ProcBody, SetupCtx};
 
 use crate::common::{block_range, close, proc_rng};
 use crate::{App, BuiltApp, SizeClass};
-use rand::Rng;
+use spasm_prng::Rng;
 
 /// Gaussian deviates by the Marsaglia polar method, binned by magnitude —
 /// the NAS EP statistic. Communication structure (the part that matters to

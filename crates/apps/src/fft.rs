@@ -2,8 +2,8 @@
 
 use std::f64::consts::PI;
 
-use rand::Rng;
 use spasm_machine::{sync, Addr, MemCtx, ProcBody, SetupCtx};
+use spasm_prng::Rng;
 
 use crate::common::{close, proc_rng};
 use crate::{App, BuiltApp, SizeClass};
@@ -48,7 +48,10 @@ impl Fft {
     ///
     /// Panics if `n` is not a power of two or is less than 2.
     pub fn with_len(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "n must be a power of two >= 2"
+        );
         Fft { n }
     }
 }
@@ -158,7 +161,11 @@ impl App for Fft {
             })
             .collect();
 
-        let final_bases = if stages.is_multiple_of(2) { a_bases } else { b_bases };
+        let final_bases = if stages.is_multiple_of(2) {
+            a_bases
+        } else {
+            b_bases
+        };
         let verify: crate::Verifier = Box::new(move |store| {
             let want = reference_dft(&signal);
             let bits = n.trailing_zeros();
@@ -169,9 +176,7 @@ impl App for Fft {
                 let gre = store.read_f64(addr);
                 let gim = store.read_f64(addr.offset_words(1));
                 if !close(gre, wre, 1e-6) || !close(gim, wim, 1e-6) {
-                    return Err(format!(
-                        "X[{k}] = ({gre}, {gim}), want ({wre}, {wim})"
-                    ));
+                    return Err(format!("X[{k}] = ({gre}, {gim}), want ({wre}, {wim})"));
                 }
             }
             Ok(())

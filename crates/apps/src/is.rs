@@ -1,7 +1,7 @@
 //! IS — the NAS Integer Sort kernel (bucket / counting sort).
 
-use rand::Rng;
 use spasm_machine::{sync, Addr, MemCtx, ProcBody, SetupCtx};
+use spasm_prng::Rng;
 
 use crate::common::{block_range, proc_rng};
 use crate::{App, BuiltApp, SizeClass};

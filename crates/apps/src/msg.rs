@@ -20,7 +20,7 @@ use spasm_machine::{MemCtx, ProcBody, SetupCtx};
 
 use crate::common::{block_range, close, proc_rng};
 use crate::{App, BuiltApp, SizeClass};
-use rand::Rng;
+use spasm_prng::Rng;
 
 /// Message-passing EP: private statistics, binary-tree reduction of the
 /// bin counts to processor 0, tree broadcast of a completion token.
@@ -353,8 +353,7 @@ mod tests {
                 let mut setup = SetupCtx::new(p);
                 let built = MsgEp::with_pairs(128).build(&mut setup, 11);
                 let r = Engine::new(kind, &topo, setup, built.bodies).run().unwrap();
-                (built.verify)(&r.final_store)
-                    .unwrap_or_else(|e| panic!("{kind} p={p}: {e}"));
+                (built.verify)(&r.final_store).unwrap_or_else(|e| panic!("{kind} p={p}: {e}"));
             }
         }
     }

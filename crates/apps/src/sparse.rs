@@ -7,8 +7,7 @@
 //! fan-out algorithm knows every column's structure up front — just as
 //! SPLASH CHOLESKY factors a pre-analysed matrix.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use spasm_prng::{Rng, StdRng};
 
 /// A sparse symmetric positive-definite matrix.
 #[derive(Debug, Clone)]
@@ -240,7 +239,10 @@ mod tests {
         for j in 0..a.n {
             for i in j..a.n {
                 if l[i][j].abs() > 1e-14 {
-                    assert!(pat[j].contains(&i), "numeric nonzero ({i},{j}) not in pattern");
+                    assert!(
+                        pat[j].contains(&i),
+                        "numeric nonzero ({i},{j}) not in pattern"
+                    );
                 }
             }
         }

@@ -1,54 +1,60 @@
 //! Microbenchmarks of the Berkeley coherence state machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spasm_bench::harness::Harness;
 use spasm_cache::{AccessKind, CacheConfig, CoherenceController};
 
-fn bench_access_patterns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coherence");
-    group.sample_size(40);
+fn main() {
+    let mut h = Harness::new("coherence_micro");
 
-    // Hot loop of hits: the common case on cached machines.
-    group.bench_function("read_hits", |b| {
+    // Hot loop of hits: the common case on cached machines. One
+    // iteration = 4096 repeated read hits.
+    {
         let mut cc = CoherenceController::new(4, CacheConfig::paper());
         cc.access(0, 100, AccessKind::Read);
-        b.iter(|| cc.access(0, 100, AccessKind::Read));
-    });
+        h.bench("coherence/read_hits", move || {
+            let mut last = spasm_cache::Outcome::Hit;
+            for _ in 0..4096 {
+                last = cc.access(0, 100, AccessKind::Read);
+            }
+            last
+        });
+    }
 
     // Ping-pong: two writers alternating on one block (upgrade + miss
-    // traffic every access).
-    group.bench_function("write_ping_pong", |b| {
+    // traffic every access). One iteration = 1024 alternations.
+    {
         let mut cc = CoherenceController::new(2, CacheConfig::paper());
         let mut turn = 0usize;
-        b.iter(|| {
-            turn ^= 1;
-            cc.access(turn, 100, AccessKind::Write)
+        h.bench("coherence/write_ping_pong", move || {
+            let mut last = spasm_cache::Outcome::Hit;
+            for _ in 0..1024 {
+                turn ^= 1;
+                last = cc.access(turn, 100, AccessKind::Write);
+            }
+            last
         });
-    });
+    }
 
-    // Invalidation fan-out width.
+    // Invalidation fan-out width: a fresh sharer set per iteration, one
+    // timed upgrade write that invalidates all of it.
     for sharers in [2usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("upgrade_fanout", sharers),
-            &sharers,
-            |b, &sharers| {
-                b.iter_batched(
-                    || {
-                        let mut cc = CoherenceController::new(64, CacheConfig::paper());
-                        for s in 1..=sharers {
-                            cc.access(s, 100, AccessKind::Read);
-                        }
-                        cc.access(0, 100, AccessKind::Read);
-                        cc
-                    },
-                    |mut cc| cc.access(0, 100, AccessKind::Write),
-                    criterion::BatchSize::SmallInput,
-                );
+        h.bench_with_setup(
+            &format!("coherence/upgrade_fanout/{sharers}"),
+            move || {
+                let mut cc = CoherenceController::new(64, CacheConfig::paper());
+                for s in 1..=sharers {
+                    cc.access(s, 100, AccessKind::Read);
+                }
+                cc.access(0, 100, AccessKind::Read);
+                cc
             },
+            |mut cc| cc.access(0, 100, AccessKind::Write),
         );
     }
 
-    // Capacity-miss streaming through a small cache.
-    group.bench_function("streaming_evictions", |b| {
+    // Capacity-miss streaming through a small cache. One iteration =
+    // 1024 streaming writes.
+    {
         let mut cc = CoherenceController::new(
             1,
             CacheConfig {
@@ -58,14 +64,15 @@ fn bench_access_patterns(c: &mut Criterion) {
             },
         );
         let mut block = 0u64;
-        b.iter(|| {
-            block += 1;
-            cc.access(0, block % 4096, AccessKind::Write)
+        h.bench("coherence/streaming_evictions", move || {
+            let mut last = spasm_cache::Outcome::Hit;
+            for _ in 0..1024 {
+                block += 1;
+                last = cc.access(0, block % 4096, AccessKind::Write);
+            }
+            last
         });
-    });
+    }
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_access_patterns);
-criterion_main!(benches);

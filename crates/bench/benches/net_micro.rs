@@ -1,87 +1,85 @@
 //! Microbenchmarks of the link-level network simulator: cost of routing +
 //! circuit reservation per message, per topology.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spasm_bench::harness::Harness;
 use spasm_desim::SimTime;
 use spasm_net::Network;
 use spasm_topology::{NodeId, Topology, TopologyKind};
 
-fn bench_send(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_send");
-    group.sample_size(30);
+/// One iteration = 256 messages streamed through a fresh network.
+fn send_batch(topo: &Topology, p: usize) -> u64 {
+    let mut net = Network::new(topo.clone());
+    let mut t = SimTime::ZERO;
+    for i in 0..256u64 {
+        let src = NodeId((i as usize * 7) % p);
+        let dst = NodeId((i as usize * 13 + 1) % p);
+        if src != dst {
+            let d = net.send(t, src, dst, 32);
+            t = t.max(d.arrive) - SimTime::from_ns(800);
+        }
+    }
+    net.stats().messages
+}
+
+fn main() {
+    let mut h = Harness::new("net_micro");
+
     for kind in [
         TopologyKind::Full,
         TopologyKind::Hypercube,
         TopologyKind::Mesh2D,
     ] {
         for p in [8usize, 32] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), p),
-                &p,
-                |b, &p| {
-                    let topo = Topology::of_kind(kind, p);
-                    b.iter_batched(
-                        || Network::new(topo.clone()),
-                        |mut net| {
-                            let mut t = SimTime::ZERO;
-                            for i in 0..256u64 {
-                                let src = NodeId((i as usize * 7) % p);
-                                let dst = NodeId((i as usize * 13 + 1) % p);
-                                if src != dst {
-                                    let d = net.send(t, src, dst, 32);
-                                    t = t.max(d.arrive) - SimTime::from_ns(800);
-                                }
-                            }
-                            net.stats().messages
-                        },
-                        criterion::BatchSize::SmallInput,
-                    );
-                },
-            );
+            let topo = Topology::of_kind(kind, p);
+            h.bench(&format!("net_send/{kind}/{p}"), || send_batch(&topo, p));
         }
     }
-    group.finish();
-}
 
-fn bench_routing_vs_abstraction(c: &mut Criterion) {
     // Quantifies why the abstracted machines simulate faster: one LogP
     // message costs two gap-tracker updates; one target message costs a
-    // route computation plus per-link reservations.
-    let mut group = c.benchmark_group("message_cost");
-    group.sample_size(30);
+    // route computation plus per-link reservations. One iteration = 1024
+    // messages against persistent state.
     let p = 32;
-
-    group.bench_function("target_mesh_message", |b| {
-        let topo = Topology::mesh(p);
-        let mut net = Network::new(topo);
-        let mut i = 0u64;
-        b.iter(|| {
+    let mut net = Network::new(Topology::mesh(p));
+    let mut i = 0u64;
+    h.bench("message_cost/target_mesh_message", move || {
+        let mut last = SimTime::ZERO;
+        for _ in 0..1024 {
             i += 1;
-            net.send(
+            let d = net.send(
                 SimTime::from_ns(i * 1000),
                 NodeId((i as usize * 7) % p),
                 NodeId((i as usize * 13 + 1) % p),
                 32,
-            )
-        });
+            );
+            last = d.arrive;
+        }
+        last
     });
 
-    group.bench_function("logp_abstract_message", |b| {
+    {
         use spasm_logp::{GapPolicy, GapTracker, NetEvent};
         let mut gaps = GapTracker::new(p, SimTime::from_ns(1600), GapPolicy::Unified);
         let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let s = gaps.acquire((i as usize * 7) % p, NetEvent::Send, SimTime::from_ns(i * 1000));
-            gaps.acquire(
-                (i as usize * 13 + 1) % p,
-                NetEvent::Recv,
-                s.start + SimTime::from_ns(1600),
-            )
+        h.bench("message_cost/logp_abstract_message", move || {
+            let mut last = SimTime::ZERO;
+            for _ in 0..1024 {
+                i += 1;
+                let s = gaps.acquire(
+                    (i as usize * 7) % p,
+                    NetEvent::Send,
+                    SimTime::from_ns(i * 1000),
+                );
+                let r = gaps.acquire(
+                    (i as usize * 13 + 1) % p,
+                    NetEvent::Recv,
+                    s.start + SimTime::from_ns(1600),
+                );
+                last = r.start;
+            }
+            last
         });
-    });
-    group.finish();
-}
+    }
 
-criterion_group!(benches, bench_send, bench_routing_vs_abstraction);
-criterion_main!(benches);
+    h.finish();
+}

@@ -9,59 +9,44 @@
 //!   most abstract model, because ignoring locality turns cache hits into
 //!   simulated network events.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spasm_apps::{AppId, SizeClass};
+use spasm_bench::harness::Harness;
 use spasm_core::{Experiment, Machine, Net};
 
-fn bench_machines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_speed");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("sim_speed");
+
     for app in AppId::ALL {
         for machine in [Machine::Target, Machine::LogP, Machine::CLogP] {
-            group.bench_with_input(
-                BenchmarkId::new(app.to_string(), machine.to_string()),
-                &(app, machine),
-                |b, &(app, machine)| {
-                    let exp = Experiment {
-                        app,
-                        size: SizeClass::Test,
-                        net: Net::Full,
-                        machine,
-                        procs: 4,
-                        seed: 1995,
-                    };
-                    b.iter(|| exp.run().expect("experiment must verify"));
-                },
-            );
+            let exp = Experiment {
+                app,
+                size: SizeClass::Test,
+                net: Net::Full,
+                machine,
+                procs: 4,
+                seed: 1995,
+            };
+            h.bench(&format!("sim_speed/{app}/{machine}"), move || {
+                exp.run().expect("experiment must verify")
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_gap_policy_ablation(c: &mut Criterion) {
     // A1: the per-event-type gap changes contention, not simulator cost —
     // this bench documents that the ablation is free to adopt.
-    let mut group = c.benchmark_group("gap_policy");
-    group.sample_size(10);
     for machine in [Machine::CLogP, Machine::CLogPPerEventGap] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(machine.to_string()),
-            &machine,
-            |b, &machine| {
-                let exp = Experiment {
-                    app: AppId::Fft,
-                    size: SizeClass::Test,
-                    net: Net::Cube,
-                    machine,
-                    procs: 4,
-                    seed: 1995,
-                };
-                b.iter(|| exp.run().expect("experiment must verify"));
-            },
-        );
+        let exp = Experiment {
+            app: AppId::Fft,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine,
+            procs: 4,
+            seed: 1995,
+        };
+        h.bench(&format!("gap_policy/{machine}"), move || {
+            exp.run().expect("experiment must verify")
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_machines, bench_gap_policy_ablation);
-criterion_main!(benches);
+    h.finish();
+}

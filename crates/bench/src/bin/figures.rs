@@ -70,12 +70,12 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--size" => {
-                args.size = parse_size(&it.next().unwrap_or_else(|| usage()))
-                    .unwrap_or_else(|| usage());
+                args.size =
+                    parse_size(&it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
             }
             "--procs" => {
-                args.procs = parse_procs(&it.next().unwrap_or_else(|| usage()))
-                    .unwrap_or_else(|| usage());
+                args.procs =
+                    parse_procs(&it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
             }
             "--seed" => {
                 args.seed = it

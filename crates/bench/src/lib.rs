@@ -3,13 +3,17 @@
 //! * the `figures` binary (`cargo run -p spasm-bench --release --bin
 //!   figures -- --all`) regenerates the data behind every figure of the
 //!   paper's evaluation section as aligned tables and CSV;
-//! * the Criterion benches (`cargo bench`) measure the simulator itself:
-//!   network message cost per topology, coherence transaction cost, and —
-//!   reproducing the paper's §7 "Speed of Simulation" — the wall-clock
-//!   cost of simulating each machine characterization.
+//! * the benches (`cargo bench`), built on the in-tree [`harness`]
+//!   module, measure the simulator itself: network message cost per
+//!   topology, coherence transaction cost, and — reproducing the
+//!   paper's §7 "Speed of Simulation" — the wall-clock cost of
+//!   simulating each machine characterization. Each bench writes a
+//!   `BENCH_<name>.json` summary for machine consumption.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use spasm_apps::SizeClass;
 
@@ -26,7 +30,12 @@ pub fn parse_size(s: &str) -> Option<SizeClass> {
 /// Parses a comma-separated processor list.
 pub fn parse_procs(s: &str) -> Option<Vec<usize>> {
     s.split(',')
-        .map(|t| t.trim().parse::<usize>().ok().filter(|p| p.is_power_of_two()))
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|p| p.is_power_of_two())
+        })
         .collect()
 }
 

@@ -36,7 +36,10 @@ impl CacheConfig {
             per_way * self.assoc * self.block_bytes == self.size_bytes,
             "capacity must divide evenly into ways x blocks"
         );
-        assert!(per_way.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            per_way.is_power_of_two(),
+            "set count must be a power of two"
+        );
         per_way
     }
 }

@@ -160,10 +160,7 @@ impl CoherenceController {
                             // unowned clean copy; memory is fresh again.
                             self.caches[owner].set_state(block, BState::Valid);
                             self.dir.entry(block).set_owner(None);
-                            downgrade_writeback = Some(Writeback {
-                                block,
-                                from: owner,
-                            });
+                            downgrade_writeback = Some(Writeback { block, from: owner });
                         }
                     }
                 }

@@ -1,21 +1,23 @@
 //! Property-based tests: the Berkeley protocol invariants hold under
-//! arbitrary access interleavings.
+//! arbitrary access interleavings (spasm-testkit).
 
-use proptest::prelude::*;
 use spasm_cache::{AccessKind, BState, CacheConfig, CoherenceController};
+use spasm_testkit::{check, gens, prop_assert_eq, Gen};
 
-#[derive(Debug, Clone)]
-struct Op {
-    node: usize,
-    block: u64,
-    write: bool,
-}
-
-fn arb_ops(p: usize, blocks: u64) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        (0..p, 0..blocks, any::<bool>()).prop_map(|(node, block, write)| Op { node, block, write }),
+/// Raw (node, block, write) accesses.
+fn ops(p: usize, blocks: u64) -> Gen<Vec<(usize, u64, bool)>> {
+    gens::vecs(
+        gens::tuple3(gens::usizes(0..p), gens::u64s(0..blocks), gens::bools()),
         0..200,
     )
+}
+
+fn kind_of(write: bool) -> AccessKind {
+    if write {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
 }
 
 fn small_cc(p: usize) -> CoherenceController {
@@ -29,7 +31,8 @@ fn small_cc(p: usize) -> CoherenceController {
     )
 }
 
-/// Checks the protocol's global invariants.
+/// Checks the protocol's global invariants. Plain `assert!`s: the
+/// harness catches the panic and shrinks the access history.
 fn check_invariants(cc: &CoherenceController, blocks: u64) {
     for block in 0..blocks {
         let holders: Vec<usize> = (0..cc.nodes())
@@ -62,62 +65,79 @@ fn check_invariants(cc: &CoherenceController, blocks: u64) {
     }
 }
 
-proptest! {
-    #[test]
-    fn berkeley_invariants_hold(ops in arb_ops(4, 16)) {
+#[test]
+fn berkeley_invariants_hold() {
+    check("berkeley_invariants_hold", &ops(4, 16), |history| {
         let mut cc = small_cc(4);
-        for op in &ops {
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
-            cc.access(op.node, op.block, kind);
+        for &(node, block, write) in history {
+            cc.access(node, block, kind_of(write));
         }
         check_invariants(&cc, 16);
-    }
+        Ok(())
+    });
+}
 
-    /// After any history, a write by node n leaves n as the exclusive
-    /// Dirty owner.
-    #[test]
-    fn write_always_ends_exclusive(ops in arb_ops(4, 16), node in 0usize..4, block in 0u64..16) {
-        let mut cc = small_cc(4);
-        for op in &ops {
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
-            cc.access(op.node, op.block, kind);
-        }
-        cc.access(node, block, AccessKind::Write);
-        assert_eq!(cc.cache(node).peek(block), Some(BState::Dirty));
-        assert_eq!(cc.directory().get(block).unwrap().owner(), Some(node));
-        for other in 0..4 {
-            if other != node {
-                assert_eq!(cc.cache(other).peek(block), None);
+/// After any history, a write by node n leaves n as the exclusive
+/// Dirty owner.
+#[test]
+fn write_always_ends_exclusive() {
+    check(
+        "write_always_ends_exclusive",
+        &gens::tuple3(ops(4, 16), gens::usizes(0..4), gens::u64s(0..16)),
+        |(history, node, block)| {
+            let (node, block) = (*node, *block);
+            let mut cc = small_cc(4);
+            for &(n, b, write) in history {
+                cc.access(n, b, kind_of(write));
             }
-        }
-    }
+            cc.access(node, block, AccessKind::Write);
+            assert_eq!(cc.cache(node).peek(block), Some(BState::Dirty));
+            assert_eq!(cc.directory().get(block).unwrap().owner(), Some(node));
+            for other in 0..4 {
+                if other != node {
+                    assert_eq!(cc.cache(other).peek(block), None);
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The controller is deterministic: identical histories give identical
-    /// outcomes.
-    #[test]
-    fn controller_deterministic(ops in arb_ops(4, 16)) {
+/// The controller is deterministic: identical histories give identical
+/// outcomes.
+#[test]
+fn controller_deterministic() {
+    check("controller_deterministic", &ops(4, 16), |history| {
         let mut a = small_cc(4);
         let mut b = small_cc(4);
-        for op in &ops {
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
-            prop_assert_eq!(a.access(op.node, op.block, kind), b.access(op.node, op.block, kind));
+        for &(node, block, write) in history {
+            let kind = kind_of(write);
+            prop_assert_eq!(a.access(node, block, kind), b.access(node, block, kind));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Hits never lie: an access reported Hit leaves every other node's
-    /// state untouched (no hidden invalidations).
-    #[test]
-    fn hits_are_local(ops in arb_ops(3, 8), node in 0usize..3, block in 0u64..8) {
-        let mut cc = small_cc(3);
-        for op in &ops {
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
-            cc.access(op.node, op.block, kind);
-        }
-        let before: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
-        let outcome = cc.access(node, block, AccessKind::Read);
-        if outcome == spasm_cache::Outcome::Hit {
-            let after: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
-            prop_assert_eq!(before, after);
-        }
-    }
+/// Hits never lie: an access reported Hit leaves every other node's
+/// state untouched (no hidden invalidations).
+#[test]
+fn hits_are_local() {
+    check(
+        "hits_are_local",
+        &gens::tuple3(ops(3, 8), gens::usizes(0..3), gens::u64s(0..8)),
+        |(history, node, block)| {
+            let (node, block) = (*node, *block);
+            let mut cc = small_cc(3);
+            for &(n, b, write) in history {
+                cc.access(n, b, kind_of(write));
+            }
+            let before: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
+            let outcome = cc.access(node, block, AccessKind::Read);
+            if outcome == spasm_cache::Outcome::Hit {
+                let after: Vec<_> = (0..3).map(|n| cc.cache(n).peek(block)).collect();
+                prop_assert_eq!(before, after);
+            }
+            Ok(())
+        },
+    );
 }

@@ -204,13 +204,8 @@ impl Experiment {
         let mut setup = SetupCtx::new(self.procs);
         let app = self.app.instantiate(self.size);
         let built = app.build(&mut setup, self.seed);
-        let mut engine = Engine::with_config(
-            self.machine.kind(),
-            &topo,
-            config,
-            setup,
-            built.bodies,
-        );
+        let mut engine =
+            Engine::with_config(self.machine.kind(), &topo, config, setup, built.bodies);
         let report = engine.run().map_err(ExperimentError::Run)?;
         (built.verify)(&report.final_store).map_err(ExperimentError::Verify)?;
         let p = report.procs() as f64;

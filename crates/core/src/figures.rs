@@ -61,11 +61,7 @@ const TLC: &[Machine] = &[Machine::Target, Machine::LogP, Machine::CLogP];
 const TC: &[Machine] = &[Machine::Target, Machine::CLogP];
 const TCL: &[Machine] = &[Machine::Target, Machine::CLogP, Machine::LogP];
 /// A1 ablation series.
-const GAP_ABLATION: &[Machine] = &[
-    Machine::Target,
-    Machine::CLogP,
-    Machine::CLogPPerEventGap,
-];
+const GAP_ABLATION: &[Machine] = &[Machine::Target, Machine::CLogP, Machine::CLogPPerEventGap];
 
 /// Every table/figure of the evaluation, in paper order.
 pub const FIGURES: &[FigureSpec] = &[

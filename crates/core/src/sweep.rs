@@ -111,7 +111,12 @@ impl FigureData {
             for (i, &p) in self.procs.iter().enumerate() {
                 out.push_str(&format!(
                     "{},{},{},{:?},{},{},{}\n",
-                    self.spec.id, self.spec.app, self.spec.net, self.spec.metric, p, s.machine,
+                    self.spec.id,
+                    self.spec.app,
+                    self.spec.net,
+                    self.spec.metric,
+                    p,
+                    s.machine,
                     s.values[i]
                 ));
             }
@@ -188,8 +193,8 @@ impl FigureData {
 mod tests {
     use super::*;
     use crate::figures;
-    use spasm_apps::AppId;
     use crate::Net;
+    use spasm_apps::AppId;
 
     #[test]
     fn small_sweep_produces_aligned_data() {

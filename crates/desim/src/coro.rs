@@ -322,11 +322,13 @@ mod tests {
         while done < n {
             done = 0;
             for p in 0..n {
-                if let Some(q) = pending[p].take() { match pool.resume(p, q) {
-                    Step::Request(q2) => pending[p] = Some(q2),
-                    Step::Done => {}
-                    Step::Panicked(m) => panic!("{m}"),
-                } }
+                if let Some(q) = pending[p].take() {
+                    match pool.resume(p, q) {
+                        Step::Request(q2) => pending[p] = Some(q2),
+                        Step::Done => {}
+                        Step::Panicked(m) => panic!("{m}"),
+                    }
+                }
                 if !pool.is_live(p) {
                     done += 1;
                 }

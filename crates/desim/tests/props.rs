@@ -1,82 +1,114 @@
-//! Property-based tests of the simulation kernel.
+//! Property-based tests of the simulation kernel (spasm-testkit).
 
-use proptest::prelude::*;
 use spasm_desim::{EventQueue, Facility, SimTime};
+use spasm_testkit::{check, gens, prop_assert, prop_assert_eq};
 
-proptest! {
-    /// The event queue is a stable priority queue: pops are sorted by
-    /// time, and equal-time events preserve push order.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..100, 0..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(SimTime::from_ns(t), i);
-        }
-        let mut expect: Vec<(u64, usize)> =
-            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-        expect.sort(); // stable sort: (time, push index)
-        let got: Vec<(u64, usize)> =
-            std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_ns(), i))).collect();
-        prop_assert_eq!(got, expect);
-    }
-
-    /// Interleaved pushes and pops never violate the time order among the
-    /// events popped after any push.
-    #[test]
-    fn event_queue_interleaved_operations(ops in prop::collection::vec((any::<bool>(), 0u64..50), 0..100)) {
-        let mut q = EventQueue::new();
-        let mut last_popped = None::<u64>;
-        let mut max_pushed_before_pop = 0u64;
-        for (push, t) in ops {
-            if push {
-                // Monotonic pushes (like a simulator: never schedule in
-                // the past relative to consumed time).
-                let t = t.max(last_popped.unwrap_or(0));
-                q.push(SimTime::from_ns(t), ());
-                max_pushed_before_pop = max_pushed_before_pop.max(t);
-            } else if let Some((t, ())) = q.pop() {
-                if let Some(prev) = last_popped {
-                    prop_assert!(t.as_ns() >= prev);
-                }
-                last_popped = Some(t.as_ns());
+/// The event queue is a stable priority queue: pops are sorted by time,
+/// and equal-time events preserve push order.
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    check(
+        "event_queue_pops_sorted_and_stable",
+        &gens::vecs(gens::u64s(0..100), 0..200),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_ns(t), i);
             }
-        }
-    }
+            let mut expect: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            expect.sort(); // stable sort: (time, push index)
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_ns(), i))).collect();
+            prop_assert_eq!(got, expect);
+            Ok(())
+        },
+    );
+}
 
-    /// A facility serializes: grants never overlap, start at or after the
-    /// request, and FCFS order is preserved.
-    #[test]
-    fn facility_grants_never_overlap(reqs in prop::collection::vec((0u64..1000, 1u64..100), 1..50)) {
-        let mut f = Facility::new();
-        let mut sorted = reqs;
-        sorted.sort(); // requests arrive in time order
-        let mut last_end = SimTime::ZERO;
-        let mut busy_total = SimTime::ZERO;
-        for (at, service) in sorted {
-            let g = f.reserve(SimTime::from_ns(at), SimTime::from_ns(service));
-            prop_assert!(g.start >= SimTime::from_ns(at));
-            prop_assert!(g.start >= last_end, "overlapping grants");
-            prop_assert_eq!(g.end, g.start + SimTime::from_ns(service));
-            prop_assert_eq!(g.waited, g.start - SimTime::from_ns(at));
-            last_end = g.end;
-            busy_total += SimTime::from_ns(service);
-        }
-        prop_assert_eq!(f.stats().busy, busy_total);
-        prop_assert_eq!(f.free_at(), last_end);
-    }
+/// Interleaved pushes and pops never violate the time order among the
+/// events popped after any push.
+#[test]
+fn event_queue_interleaved_operations() {
+    check(
+        "event_queue_interleaved_operations",
+        &gens::vecs(gens::tuple2(gens::bools(), gens::u64s(0..50)), 0..100),
+        |ops| {
+            let mut q = EventQueue::new();
+            let mut last_popped = None::<u64>;
+            for &(push, t) in ops {
+                if push {
+                    // Monotonic pushes (like a simulator: never schedule
+                    // in the past relative to consumed time).
+                    let t = t.max(last_popped.unwrap_or(0));
+                    q.push(SimTime::from_ns(t), ());
+                } else if let Some((t, ())) = q.pop() {
+                    if let Some(prev) = last_popped {
+                        prop_assert!(t.as_ns() >= prev);
+                    }
+                    last_popped = Some(t.as_ns());
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// SimTime arithmetic: associativity of addition and the saturating
-    /// subtraction identity `a - b + b >= a` (equality when b <= a).
-    #[test]
-    fn simtime_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
-        let (ta, tb, tc) = (SimTime::from_ns(a), SimTime::from_ns(b), SimTime::from_ns(c));
-        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
-        if b <= a {
-            prop_assert_eq!(ta - tb + tb, ta);
-        } else {
-            prop_assert_eq!(ta - tb, SimTime::ZERO);
-        }
-        prop_assert_eq!(ta.max(tb).as_ns(), a.max(b));
-        prop_assert_eq!(ta.min(tb).as_ns(), a.min(b));
-    }
+/// A facility serializes: grants never overlap, start at or after the
+/// request, and FCFS order is preserved.
+#[test]
+fn facility_grants_never_overlap() {
+    check(
+        "facility_grants_never_overlap",
+        &gens::vecs(gens::tuple2(gens::u64s(0..1000), gens::u64s(1..100)), 1..50),
+        |reqs| {
+            let mut f = Facility::new();
+            let mut sorted = reqs.clone();
+            sorted.sort(); // requests arrive in time order
+            let mut last_end = SimTime::ZERO;
+            let mut busy_total = SimTime::ZERO;
+            for (at, service) in sorted {
+                let g = f.reserve(SimTime::from_ns(at), SimTime::from_ns(service));
+                prop_assert!(g.start >= SimTime::from_ns(at));
+                prop_assert!(g.start >= last_end, "overlapping grants");
+                prop_assert_eq!(g.end, g.start + SimTime::from_ns(service));
+                prop_assert_eq!(g.waited, g.start - SimTime::from_ns(at));
+                last_end = g.end;
+                busy_total += SimTime::from_ns(service);
+            }
+            prop_assert_eq!(f.stats().busy, busy_total);
+            prop_assert_eq!(f.free_at(), last_end);
+            Ok(())
+        },
+    );
+}
+
+/// SimTime arithmetic: associativity of addition and the saturating
+/// subtraction identity `a - b + b >= a` (equality when b <= a).
+#[test]
+fn simtime_arithmetic() {
+    check(
+        "simtime_arithmetic",
+        &gens::tuple3(
+            gens::u64s(0..u64::MAX / 4),
+            gens::u64s(0..u64::MAX / 4),
+            gens::u64s(0..u64::MAX / 4),
+        ),
+        |&(a, b, c)| {
+            let (ta, tb, tc) = (
+                SimTime::from_ns(a),
+                SimTime::from_ns(b),
+                SimTime::from_ns(c),
+            );
+            prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+            if b <= a {
+                prop_assert_eq!(ta - tb + tb, ta);
+            } else {
+                prop_assert_eq!(ta - tb, SimTime::ZERO);
+            }
+            prop_assert_eq!(ta.max(tb).as_ns(), a.max(b));
+            prop_assert_eq!(ta.min(tb).as_ns(), a.min(b));
+            Ok(())
+        },
+    );
 }

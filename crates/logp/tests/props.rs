@@ -1,103 +1,145 @@
-//! Property-based tests of the LogP gap machinery.
+//! Property-based tests of the LogP gap machinery (spasm-testkit).
 
-use proptest::prelude::*;
 use spasm_desim::SimTime;
 use spasm_logp::{GapPolicy, GapTracker, LogPParams, NetEvent};
+use spasm_testkit::{check, gens, prop_assert, prop_assert_eq, Gen};
 use spasm_topology::Topology;
 
-fn arb_events(p: usize) -> impl Strategy<Value = Vec<(usize, bool, u64)>> {
-    prop::collection::vec((0..p, any::<bool>(), 0u64..10_000), 0..100).prop_map(|mut v| {
-        v.sort_by_key(|&(_, _, t)| t); // event order = time order
-        v
-    })
+/// Raw (node, is-send, at) events; sorted by time inside the property
+/// (event order = time order, as the engine issues them).
+fn events(p: usize) -> Gen<Vec<(usize, bool, u64)>> {
+    gens::vecs(
+        gens::tuple3(gens::usizes(0..p), gens::bools(), gens::u64s(0..10_000)),
+        0..100,
+    )
 }
 
-proptest! {
-    /// Under the unified policy, consecutive grants at one node are at
-    /// least g apart, regardless of event kind.
-    #[test]
-    fn unified_grants_are_g_spaced(events in arb_events(4), g in 1u64..5_000) {
-        let mut tracker = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::Unified);
-        let mut last: [Option<SimTime>; 4] = [None; 4];
-        for (node, send, at) in events {
-            let kind = if send { NetEvent::Send } else { NetEvent::Recv };
-            let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
-            prop_assert!(grant.start >= SimTime::from_ns(at));
-            if let Some(prev) = last[node] {
-                prop_assert!(
-                    grant.start >= prev + SimTime::from_ns(g),
-                    "grants {prev} and {} closer than g={g}", grant.start
-                );
+fn by_time(v: &[(usize, bool, u64)]) -> Vec<(usize, bool, u64)> {
+    let mut v = v.to_vec();
+    v.sort_by_key(|&(_, _, t)| t);
+    v
+}
+
+/// Under the unified policy, consecutive grants at one node are at
+/// least g apart, regardless of event kind.
+#[test]
+fn unified_grants_are_g_spaced() {
+    check(
+        "unified_grants_are_g_spaced",
+        &gens::tuple2(events(4), gens::u64s(1..5_000)),
+        |(raw, g)| {
+            let g = *g;
+            let mut tracker = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::Unified);
+            let mut last: [Option<SimTime>; 4] = [None; 4];
+            for (node, send, at) in by_time(raw) {
+                let kind = if send { NetEvent::Send } else { NetEvent::Recv };
+                let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
+                prop_assert!(grant.start >= SimTime::from_ns(at));
+                if let Some(prev) = last[node] {
+                    prop_assert!(
+                        grant.start >= prev + SimTime::from_ns(g),
+                        "grants {prev} and {} closer than g={g}",
+                        grant.start
+                    );
+                }
+                last[node] = Some(grant.start);
             }
-            last[node] = Some(grant.start);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Under the per-event-type policy, same-kind grants are g-spaced and
-    /// every grant is still at or after its request.
-    #[test]
-    fn per_type_grants_are_g_spaced_within_kind(events in arb_events(4), g in 1u64..5_000) {
-        let mut tracker = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::PerEventType);
-        let mut last: std::collections::HashMap<(usize, bool), SimTime> = Default::default();
-        for (node, send, at) in events {
-            let kind = if send { NetEvent::Send } else { NetEvent::Recv };
-            let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
-            prop_assert!(grant.start >= SimTime::from_ns(at));
-            if let Some(&prev) = last.get(&(node, send)) {
-                prop_assert!(grant.start >= prev + SimTime::from_ns(g));
+/// Under the per-event-type policy, same-kind grants are g-spaced and
+/// every grant is still at or after its request.
+#[test]
+fn per_type_grants_are_g_spaced_within_kind() {
+    check(
+        "per_type_grants_are_g_spaced_within_kind",
+        &gens::tuple2(events(4), gens::u64s(1..5_000)),
+        |(raw, g)| {
+            let g = *g;
+            let mut tracker = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::PerEventType);
+            let mut last: std::collections::HashMap<(usize, bool), SimTime> = Default::default();
+            for (node, send, at) in by_time(raw) {
+                let kind = if send { NetEvent::Send } else { NetEvent::Recv };
+                let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
+                prop_assert!(grant.start >= SimTime::from_ns(at));
+                if let Some(&prev) = last.get(&(node, send)) {
+                    prop_assert!(grant.start >= prev + SimTime::from_ns(g));
+                }
+                last.insert((node, send), grant.start);
             }
-            last.insert((node, send), grant.start);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The per-event-type policy never waits longer than the unified
-    /// policy for the same event stream.
-    #[test]
-    fn per_type_is_never_slower(events in arb_events(4), g in 1u64..5_000) {
-        let mut unified = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::Unified);
-        let mut per_type = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::PerEventType);
-        for (node, send, at) in events {
-            let kind = if send { NetEvent::Send } else { NetEvent::Recv };
-            let gu = unified.acquire(node, kind, SimTime::from_ns(at));
-            let gp = per_type.acquire(node, kind, SimTime::from_ns(at));
-            prop_assert!(gp.start <= gu.start);
-        }
-        for node in 0..4 {
-            prop_assert!(per_type.waited(node) <= unified.waited(node));
-        }
-    }
+/// The per-event-type policy never waits longer than the unified policy
+/// for the same event stream.
+#[test]
+fn per_type_is_never_slower() {
+    check(
+        "per_type_is_never_slower",
+        &gens::tuple2(events(4), gens::u64s(1..5_000)),
+        |(raw, g)| {
+            let g = *g;
+            let mut unified = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::Unified);
+            let mut per_type = GapTracker::new(4, SimTime::from_ns(g), GapPolicy::PerEventType);
+            for (node, send, at) in by_time(raw) {
+                let kind = if send { NetEvent::Send } else { NetEvent::Recv };
+                let gu = unified.acquire(node, kind, SimTime::from_ns(at));
+                let gp = per_type.acquire(node, kind, SimTime::from_ns(at));
+                prop_assert!(gp.start <= gu.start);
+            }
+            for node in 0..4 {
+                prop_assert!(per_type.waited(node) <= unified.waited(node));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Accumulated waiting equals the sum of per-grant waits.
-    #[test]
-    fn waited_is_sum_of_waits(events in arb_events(2), g in 1u64..2_000) {
-        let mut tracker = GapTracker::new(2, SimTime::from_ns(g), GapPolicy::Unified);
-        let mut sums = [SimTime::ZERO; 2];
-        for (node, send, at) in events {
-            let kind = if send { NetEvent::Send } else { NetEvent::Recv };
-            let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
-            sums[node] += grant.waited;
-        }
-        for (node, &sum) in sums.iter().enumerate() {
-            prop_assert_eq!(tracker.waited(node), sum);
-        }
-    }
+/// Accumulated waiting equals the sum of per-grant waits.
+#[test]
+fn waited_is_sum_of_waits() {
+    check(
+        "waited_is_sum_of_waits",
+        &gens::tuple2(events(2), gens::u64s(1..2_000)),
+        |(raw, g)| {
+            let mut tracker = GapTracker::new(2, SimTime::from_ns(*g), GapPolicy::Unified);
+            let mut sums = [SimTime::ZERO; 2];
+            for (node, send, at) in by_time(raw) {
+                let kind = if send { NetEvent::Send } else { NetEvent::Recv };
+                let grant = tracker.acquire(node, kind, SimTime::from_ns(at));
+                sums[node] += grant.waited;
+            }
+            for (node, &sum) in sums.iter().enumerate() {
+                prop_assert_eq!(tracker.waited(node), sum);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// g derivation: for every topology and size, g is positive (p > 1)
-    /// and scales as the paper's closed forms dictate.
-    #[test]
-    fn g_derivation_matches_paper_forms(e in 1u32..=6) {
-        let p = 1usize << e;
-        let full = LogPParams::for_topology(&Topology::full(p));
-        let cube = LogPParams::for_topology(&Topology::hypercube(p));
-        let mesh = LogPParams::for_topology(&Topology::mesh(p));
-        prop_assert_eq!(full.g.as_ns(), 3_200 / p as u64);
-        prop_assert_eq!(cube.g.as_ns(), 1_600);
-        let (_, cols) = Topology::mesh(p).mesh_geometry();
-        prop_assert_eq!(mesh.g.as_ns(), 800 * cols as u64);
-        // Ordering at every size the paper sweeps: mesh >= cube >= full.
-        prop_assert!(mesh.g >= cube.g);
-        if p >= 2 {
+/// g derivation: for every topology and size, g is positive (p > 1)
+/// and scales as the paper's closed forms dictate.
+#[test]
+fn g_derivation_matches_paper_forms() {
+    check(
+        "g_derivation_matches_paper_forms",
+        &gens::choice(vec![2usize, 4, 8, 16, 32, 64]),
+        |&p| {
+            let full = LogPParams::for_topology(&Topology::full(p));
+            let cube = LogPParams::for_topology(&Topology::hypercube(p));
+            let mesh = LogPParams::for_topology(&Topology::mesh(p));
+            prop_assert_eq!(full.g.as_ns(), 3_200 / p as u64);
+            prop_assert_eq!(cube.g.as_ns(), 1_600);
+            let (_, cols) = Topology::mesh(p).mesh_geometry();
+            prop_assert_eq!(mesh.g.as_ns(), 800 * cols as u64);
+            // Ordering at every size the paper sweeps: mesh >= cube >= full.
+            prop_assert!(mesh.g >= cube.g);
             prop_assert!(cube.g >= full.g);
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -97,12 +97,7 @@ impl AddressMap {
     /// # Panics
     ///
     /// Panics if `home` is out of range or `words` is zero.
-    pub fn alloc_labeled(
-        &mut self,
-        home: usize,
-        words: u64,
-        label: Option<&'static str>,
-    ) -> Addr {
+    pub fn alloc_labeled(&mut self, home: usize, words: u64, label: Option<&'static str>) -> Addr {
         assert!(home < self.p, "home node {home} out of range");
         assert!(words > 0, "zero-length allocation");
         let start = self.next;
@@ -125,9 +120,7 @@ impl AddressMap {
     ///
     /// Panics if `addr` was never allocated.
     pub fn home_of(&self, addr: Addr) -> usize {
-        let i = self
-            .regions
-            .partition_point(|r| r.end <= addr.0);
+        let i = self.regions.partition_point(|r| r.end <= addr.0);
         let r = self
             .regions
             .get(i)

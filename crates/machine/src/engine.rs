@@ -11,7 +11,7 @@ use spasm_topology::Topology;
 use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
 use crate::ops::{MemReq, MemResp, Pred, RmwOp};
 use crate::stats::{Buckets, ProcStats};
-use crate::{AddressMap, Addr, SetupCtx, ValueStore, CYCLE_NS};
+use crate::{Addr, AddressMap, SetupCtx, ValueStore, CYCLE_NS};
 
 /// One simulated processor's program.
 pub type ProcBody = Box<dyn FnOnce(usize, &CoroCtx<MemReq, MemResp>) + Send + 'static>;
@@ -43,7 +43,10 @@ impl fmt::Display for RunError {
                 write!(f, "processor {proc} panicked: {message}")
             }
             RunError::Deadlock { at, waiting } => {
-                write!(f, "deadlock at {at}: processors {waiting:?} blocked forever")
+                write!(
+                    f,
+                    "deadlock at {at}: processors {waiting:?} blocked forever"
+                )
             }
         }
     }
@@ -106,11 +109,7 @@ enum Ev {
     /// An operation completes: apply its effect and resume the processor.
     Commit(usize, Action),
     /// An explicit message arrives at its destination's mailbox.
-    Deliver {
-        dst: usize,
-        tag: u64,
-        value: u64,
-    },
+    Deliver { dst: usize, tag: u64, value: u64 },
 }
 
 #[derive(Debug)]
@@ -278,11 +277,13 @@ impl Engine {
             MemReq::Compute { cycles } => {
                 let dur = SimTime::from_ns(cycles * CYCLE_NS);
                 self.stats[proc].buckets.busy += dur;
-                self.events.push(now + dur, Ev::Commit(proc, Action::Compute));
+                self.events
+                    .push(now + dur, Ev::Commit(proc, Action::Compute));
             }
             MemReq::Read { addr } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Read);
-                self.events.push(finish, Ev::Commit(proc, Action::Read(addr)));
+                self.events
+                    .push(finish, Ev::Commit(proc, Action::Read(addr)));
             }
             MemReq::Write { addr, value } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Write);
@@ -395,8 +396,10 @@ impl Engine {
                         // Cache-less machine: each poll really re-reads
                         // over the network. Re-dispatch immediately; the
                         // read itself advances time, so this terminates.
-                        self.events
-                            .push(self.now, Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }));
+                        self.events.push(
+                            self.now,
+                            Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }),
+                        );
                     } else {
                         // Spin in-cache: idle until the word is written.
                         self.watchers
@@ -416,14 +419,19 @@ impl Engine {
                 // Each waiter re-reads the (just-invalidated) word and
                 // re-checks — the paper's "first and last accesses use the
                 // network" spin behaviour.
-                self.events
-                    .push(self.now, Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }));
+                self.events.push(
+                    self.now,
+                    Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }),
+                );
             }
         }
     }
 
     fn deliver(&mut self, dst: usize, tag: u64, value: u64) {
-        self.mailboxes.entry((dst, tag)).or_default().push_back(value);
+        self.mailboxes
+            .entry((dst, tag))
+            .or_default()
+            .push_back(value);
         if self.recv_wait[dst] == Some(tag) {
             self.recv_wait[dst] = None;
             // Re-dispatch the receive; it will find the mailbox non-empty.
@@ -443,10 +451,7 @@ impl Engine {
                 self.live -= 1;
                 Ok(())
             }
-            Step::Panicked(message) => Err(RunError::Panicked {
-                proc,
-                message,
-            }),
+            Step::Panicked(message) => Err(RunError::Panicked { proc, message }),
         }
     }
 }

@@ -71,7 +71,7 @@ mod stats;
 mod store;
 pub mod sync;
 
-pub use addr::{AddressMap, Addr, BLOCK_BYTES, WORD_BYTES};
+pub use addr::{Addr, AddressMap, BLOCK_BYTES, WORD_BYTES};
 pub use engine::{Engine, ProcBody, RunError, RunReport};
 pub use models::{MachineConfig, MachineKind, Model};
 pub use ops::{MemCtx, MemReq, MemResp, Pred, RmwOp};

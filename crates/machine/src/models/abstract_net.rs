@@ -52,7 +52,13 @@ impl AbstractNet {
 
     /// Delivers one abstract message; returns the delivery time and
     /// charges `buckets`.
-    pub fn message(&mut self, at: SimTime, src: usize, dst: usize, buckets: &mut Buckets) -> SimTime {
+    pub fn message(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        buckets: &mut Buckets,
+    ) -> SimTime {
         self.message_timed(at, src, dst, buckets).1
     }
 

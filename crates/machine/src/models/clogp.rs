@@ -4,7 +4,7 @@ use spasm_cache::{AccessKind, CoherenceController, Outcome};
 use spasm_desim::SimTime;
 use spasm_topology::Topology;
 
-use crate::{AddressMap, Addr, Buckets, BLOCK_BYTES, CYCLE_NS, MEM_NS};
+use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CYCLE_NS, MEM_NS};
 
 use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
 

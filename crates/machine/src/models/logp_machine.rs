@@ -3,7 +3,7 @@
 use spasm_desim::SimTime;
 use spasm_topology::Topology;
 
-use crate::{AddressMap, Addr, Buckets, MEM_NS};
+use crate::{Addr, AddressMap, Buckets, MEM_NS};
 
 use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
 

@@ -13,7 +13,7 @@ use spasm_desim::SimTime;
 use spasm_logp::GapPolicy;
 use spasm_topology::Topology;
 
-use crate::{AddressMap, Addr, Buckets};
+use crate::{Addr, AddressMap, Buckets};
 
 pub use clogp::CLogPModel;
 pub use logp_machine::LogPModel;

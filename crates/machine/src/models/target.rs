@@ -7,7 +7,7 @@ use spasm_desim::{Facility, SimTime};
 use spasm_net::{Delivery, Network};
 use spasm_topology::{NodeId, Topology};
 
-use crate::{AddressMap, Addr, Buckets, BLOCK_BYTES, CTRL_BYTES, CYCLE_NS, DATA_BYTES, MEM_NS};
+use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CTRL_BYTES, CYCLE_NS, DATA_BYTES, MEM_NS};
 
 use super::{Cost, ModelSummary};
 
@@ -80,7 +80,11 @@ impl TargetModel {
 
     /// Serializes transactions per block at the home directory.
     fn block_start(&mut self, block: u64, arrive: SimTime, buckets: &mut Buckets) -> SimTime {
-        let free = self.block_free.get(&block).copied().unwrap_or(SimTime::ZERO);
+        let free = self
+            .block_free
+            .get(&block)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let start = arrive.max(free);
         buckets.dir_wait += start - arrive;
         start
@@ -285,7 +289,7 @@ mod tests {
     fn dirty_read_forwards_from_owner() {
         let (mut m, amap) = setup(4);
         let a = Addr(512); // homed at 1
-        // Node 2 writes (miss, becomes owner), then node 3 reads.
+                           // Node 2 writes (miss, becomes owner), then node 3 reads.
         m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Write);
         let r = m.access(SimTime::from_us(100), 3, a, &amap, AccessKind::Read);
         // req(3->1) + fwd(1->2) + data(2->3): 400+400+1600 (+cycle).

@@ -1,6 +1,6 @@
 //! Pre-simulation workspace construction.
 
-use crate::{AddressMap, Addr, ValueStore};
+use crate::{Addr, AddressMap, ValueStore};
 
 /// Builds the simulated address space before timing starts.
 ///

@@ -79,7 +79,11 @@ fn messages_with_same_tag_are_fifo() {
         ];
         let r = Engine::new(kind, &topo, setup, bodies).run().unwrap();
         for i in 0..3u64 {
-            assert_eq!(r.final_store.read_word(out.offset_words(i)), 100 + i, "{kind}");
+            assert_eq!(
+                r.final_store.read_word(out.offset_words(i)),
+                100 + i,
+                "{kind}"
+            );
         }
     }
 }
@@ -128,11 +132,7 @@ fn ring_all_reduce_computes_global_sum() {
                     let next = (me + 1) % p;
                     let mine = me as u64 + 1;
                     // Accumulation pass.
-                    let acc = if me == 0 {
-                        mine
-                    } else {
-                        mem.recv(1) + mine
-                    };
+                    let acc = if me == 0 { mine } else { mem.recv(1) + mine };
                     mem.send(next, 32, if next == 0 { 2 } else { 1 }, acc);
                     // Broadcast pass.
                     let total = if me == 0 {
@@ -154,7 +154,11 @@ fn ring_all_reduce_computes_global_sum() {
         let r = Engine::new(kind, &topo, setup, bodies).run().unwrap();
         let want = (1..=p as u64).sum::<u64>();
         for me in 0..p as u64 {
-            assert_eq!(r.final_store.read_word(out.offset_words(me)), want, "{kind}");
+            assert_eq!(
+                r.final_store.read_word(out.offset_words(me)),
+                want,
+                "{kind}"
+            );
         }
     }
 }

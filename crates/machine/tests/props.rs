@@ -1,11 +1,9 @@
 //! Property-based tests of the engine: for data-race-free programs, the
 //! machine model changes *time*, never *semantics* — all four machines
-//! must produce the identical final memory state.
+//! must produce the identical final memory state. (spasm-testkit)
 
-use proptest::prelude::*;
-use spasm_machine::{
-    sync, Addr, Engine, MachineKind, MemCtx, ProcBody, RunReport, SetupCtx,
-};
+use spasm_machine::{sync, Addr, Engine, MachineKind, MemCtx, ProcBody, RunReport, SetupCtx};
+use spasm_testkit::{check_with, gens, prop_assert, prop_assert_eq, Config, Gen};
 use spasm_topology::Topology;
 
 /// A race-free operation in the generated programs.
@@ -26,37 +24,39 @@ enum Op {
     Barrier,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..50).prop_map(Op::Compute),
-        (0usize..16).prop_map(Op::Read),
-        ((0usize..4), (0u64..1000)).prop_map(|(s, v)| Op::WriteOwn(s, v)),
-        ((0usize..4), (1u64..9)).prop_map(|(c, n)| Op::Add(c, n)),
-        (0usize..2).prop_map(Op::LockedIncrement),
-        Just(Op::Barrier),
-    ]
+/// Decodes a raw generated (tag, a, b) triple into a race-free op.
+/// Barriers are deliberately absent from the per-processor stream —
+/// their counts must match, so a uniform suffix is appended instead.
+fn decode(tag: u32, a: u64, b: u64) -> Op {
+    match tag {
+        0 => Op::Compute(1 + a % 49),
+        1 => Op::Read((a % 16) as usize),
+        2 => Op::WriteOwn((a % 4) as usize, b % 1000),
+        3 => Op::Add((a % 4) as usize, 1 + b % 8),
+        _ => Op::LockedIncrement((a % 2) as usize),
+    }
 }
 
-/// Per-processor programs; barrier counts must match, so barriers are
-/// appended uniformly afterwards.
-fn arb_programs(p: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
-    let per_proc = prop::collection::vec(arb_op(), 0..25).prop_map(|ops| {
-        // Strip barriers from the random stream; they are re-inserted at
-        // matching positions below.
-        ops.into_iter()
-            .filter(|op| !matches!(op, Op::Barrier))
-            .collect::<Vec<_>>()
-    });
-    (
-        prop::collection::vec(per_proc, p..=p),
-        prop::collection::vec(Just(Op::Barrier), 0..3),
+/// Per-processor raw programs plus a uniform trailing barrier count.
+fn raw_programs(p: usize) -> Gen<(Vec<Vec<(u32, u64, u64)>>, usize)> {
+    let op = gens::tuple3(gens::u32s(0..5), gens::u64s(0..1_000), gens::u64s(0..1_000));
+    gens::tuple2(
+        gens::vecs(gens::vecs(op, 0..25), p..p + 1),
+        gens::usizes(0..3),
     )
-        .prop_map(|(mut programs, barriers)| {
-            for program in &mut programs {
-                program.extend(barriers.iter().cloned());
-            }
-            programs
-        })
+}
+
+fn programs_of(raw: &(Vec<Vec<(u32, u64, u64)>>, usize), p: usize) -> Vec<Vec<Op>> {
+    let (streams, barriers) = raw;
+    let mut programs: Vec<Vec<Op>> = streams
+        .iter()
+        .map(|ops| ops.iter().map(|&(t, a, b)| decode(t, a, b)).collect())
+        .collect();
+    programs.resize_with(p, Vec::new); // vec length is fixed to p by the gen
+    for program in &mut programs {
+        program.extend(std::iter::repeat_with(|| Op::Barrier).take(*barriers));
+    }
+    programs
 }
 
 struct World {
@@ -142,38 +142,60 @@ fn snapshot(world: &World, report: &RunReport, p: usize) -> Vec<u64> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// All four machines agree on the final memory of race-free programs.
-    #[test]
-    fn machines_agree_on_final_memory(programs in arb_programs(4)) {
-        let (w0, r0) = run_world(MachineKind::Pram, 4, &programs);
-        let reference = snapshot(&w0, &r0, 4);
-        for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
-            let (w, r) = run_world(kind, 4, &programs);
-            prop_assert_eq!(&snapshot(&w, &r, 4), &reference, "{} diverged", kind);
-        }
+/// 24 cases, matching the seed suite's proptest config for these
+/// whole-engine properties.
+fn cfg() -> Config {
+    Config {
+        cases: 24,
+        ..Config::default()
     }
+}
 
-    /// Execution time is bounded below by the PRAM ideal time on every
-    /// machine (no machine can beat unit-cost conflict-free memory).
-    #[test]
-    fn pram_is_the_floor(programs in arb_programs(2)) {
+/// All four machines agree on the final memory of race-free programs.
+#[test]
+fn machines_agree_on_final_memory() {
+    check_with(
+        cfg(),
+        "machines_agree_on_final_memory",
+        &raw_programs(4),
+        |raw| {
+            let programs = programs_of(raw, 4);
+            let (w0, r0) = run_world(MachineKind::Pram, 4, &programs);
+            let reference = snapshot(&w0, &r0, 4);
+            for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
+                let (w, r) = run_world(kind, 4, &programs);
+                prop_assert_eq!(&snapshot(&w, &r, 4), &reference, "{kind} diverged");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Execution time is bounded below by the PRAM ideal time on every
+/// machine (no machine can beat unit-cost conflict-free memory).
+#[test]
+fn pram_is_the_floor() {
+    check_with(cfg(), "pram_is_the_floor", &raw_programs(2), |raw| {
+        let programs = programs_of(raw, 2);
         let (_, ideal) = run_world(MachineKind::Pram, 2, &programs);
         for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
             let (_, r) = run_world(kind, 2, &programs);
             prop_assert!(
                 r.exec_time >= ideal.exec_time,
-                "{} finished before the PRAM: {} < {}",
-                kind, r.exec_time, ideal.exec_time
+                "{kind} finished before the PRAM: {} < {}",
+                r.exec_time,
+                ideal.exec_time
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Bucket sanity on every machine: totals are internally consistent.
-    #[test]
-    fn buckets_are_consistent(programs in arb_programs(2)) {
+/// Bucket sanity on every machine: totals are internally consistent.
+#[test]
+fn buckets_are_consistent() {
+    check_with(cfg(), "buckets_are_consistent", &raw_programs(2), |raw| {
+        let programs = programs_of(raw, 2);
         for kind in [MachineKind::Target, MachineKind::LogP, MachineKind::CLogP] {
             let (_, r) = run_world(kind, 2, &programs);
             // Per-proc finish times never exceed the reported exec time.
@@ -184,5 +206,6 @@ proptest! {
             prop_assert!(r.totals.bytes >= r.totals.msgs * 8);
             prop_assert!(r.totals.bytes <= r.totals.msgs * 32);
         }
-    }
+        Ok(())
+    });
 }

@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn disjoint_paths_do_not_contend() {
         let mut net = Network::new(Topology::mesh(16)); // 4x4
-        // Row 0 eastward and row 3 eastward are disjoint.
+                                                        // Row 0 eastward and row 3 eastward are disjoint.
         let d1 = net.send(SimTime::ZERO, NodeId(0), NodeId(3), 32);
         let d2 = net.send(SimTime::ZERO, NodeId(12), NodeId(15), 32);
         assert_eq!(d1.contention, SimTime::ZERO);

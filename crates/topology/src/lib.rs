@@ -284,7 +284,10 @@ impl Topology {
 
 fn validate_p(p: usize) {
     assert!(p > 0, "processor count must be positive");
-    assert!(p.is_power_of_two(), "processor count must be a power of two");
+    assert!(
+        p.is_power_of_two(),
+        "processor count must be a power of two"
+    );
 }
 
 /// Mesh geometry rule from the paper: equal rows and columns for even
@@ -426,7 +429,11 @@ mod tests {
 
     #[test]
     fn of_kind_constructor() {
-        for kind in [TopologyKind::Full, TopologyKind::Hypercube, TopologyKind::Mesh2D] {
+        for kind in [
+            TopologyKind::Full,
+            TopologyKind::Hypercube,
+            TopologyKind::Mesh2D,
+        ] {
             let t = Topology::of_kind(kind, 4);
             assert_eq!(t.kind(), kind);
             assert_eq!(t.nodes(), 4);
@@ -458,7 +465,11 @@ mod tests {
 
     #[test]
     fn bisection_crossing_is_symmetric() {
-        for t in [Topology::full(16), Topology::hypercube(16), Topology::mesh(16)] {
+        for t in [
+            Topology::full(16),
+            Topology::hypercube(16),
+            Topology::mesh(16),
+        ] {
             for s in t.node_ids() {
                 for d in t.node_ids() {
                     assert_eq!(t.crosses_bisection(s, d), t.crosses_bisection(d, s));

@@ -19,10 +19,8 @@ pub struct LinkTable {
 impl LinkTable {
     fn from_pairs(pairs: Vec<(usize, usize)>) -> Self {
         let mut by_pair = HashMap::with_capacity(pairs.len());
-        let endpoints: Vec<(NodeId, NodeId)> = pairs
-            .iter()
-            .map(|&(a, b)| (NodeId(a), NodeId(b)))
-            .collect();
+        let endpoints: Vec<(NodeId, NodeId)> =
+            pairs.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
         for (i, &(a, b)) in pairs.iter().enumerate() {
             let prev = by_pair.insert((a, b), LinkId(i));
             debug_assert!(prev.is_none(), "duplicate link {a}->{b}");

@@ -1,24 +1,36 @@
-//! Property-based tests for topology invariants.
+//! Property-based tests for topology invariants (spasm-testkit).
 
-use proptest::prelude::*;
+use spasm_testkit::{check, gens, prop_assert, prop_assert_eq, Gen};
 use spasm_topology::{NodeId, Topology, TopologyKind};
 
-fn arb_kind() -> impl Strategy<Value = TopologyKind> {
-    prop_oneof![
-        Just(TopologyKind::Full),
-        Just(TopologyKind::Hypercube),
-        Just(TopologyKind::Mesh2D),
-    ]
+fn kinds() -> Gen<TopologyKind> {
+    gens::choice(vec![
+        TopologyKind::Full,
+        TopologyKind::Hypercube,
+        TopologyKind::Mesh2D,
+    ])
 }
 
-fn arb_p() -> impl Strategy<Value = usize> {
-    (0u32..=6).prop_map(|e| 1usize << e)
+/// Processor counts 2^0 .. 2^6; shrinks toward smaller machines.
+fn pow2_procs() -> Gen<usize> {
+    gens::choice(vec![1, 2, 4, 8, 16, 32, 64])
 }
 
-proptest! {
-    /// Every route is a connected chain from src to dst.
-    #[test]
-    fn routes_connect(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// The common (kind, p, src, dst) case; src/dst are reduced `% p` inside
+/// the properties, as the seed suite did.
+fn kpsd() -> Gen<(TopologyKind, usize, usize, usize)> {
+    gens::tuple4(
+        kinds(),
+        pow2_procs(),
+        gens::usizes(0..64),
+        gens::usizes(0..64),
+    )
+}
+
+/// Every route is a connected chain from src to dst.
+#[test]
+fn routes_connect() {
+    check("routes_connect", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         let (s, d) = (NodeId(s % p), NodeId(d % p));
         let path = t.route(s, d);
@@ -29,73 +41,101 @@ proptest! {
             at = to;
         }
         prop_assert_eq!(at, d);
-    }
+        Ok(())
+    });
+}
 
-    /// Routes are minimal: the path length equals the topology's hop metric.
-    #[test]
-    fn routes_minimal(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// Routes are minimal: the path length equals the topology's hop metric.
+#[test]
+fn routes_minimal() {
+    check("routes_minimal", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         let (s, d) = (NodeId(s % p), NodeId(d % p));
         prop_assert_eq!(t.route(s, d).len(), t.hops(s, d));
-    }
+        Ok(())
+    });
+}
 
-    /// A route never visits the same link twice (simple path).
-    #[test]
-    fn routes_simple(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// A route never visits the same link twice (simple path).
+#[test]
+fn routes_simple() {
+    check("routes_simple", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         let path = t.route(NodeId(s % p), NodeId(d % p));
         let mut seen = std::collections::HashSet::new();
         for link in &path {
             prop_assert!(seen.insert(link.0));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Hop counts never exceed the diameter.
-    #[test]
-    fn hops_bounded_by_diameter(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// Hop counts never exceed the diameter.
+#[test]
+fn hops_bounded_by_diameter() {
+    check("hops_bounded_by_diameter", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         prop_assert!(t.hops(NodeId(s % p), NodeId(d % p)) <= t.diameter());
-    }
+        Ok(())
+    });
+}
 
-    /// The hop metric is symmetric for all three topologies.
-    #[test]
-    fn hops_symmetric(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// The hop metric is symmetric for all three topologies.
+#[test]
+fn hops_symmetric() {
+    check("hops_symmetric", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         let (s, d) = (NodeId(s % p), NodeId(d % p));
         prop_assert_eq!(t.hops(s, d), t.hops(d, s));
-    }
+        Ok(())
+    });
+}
 
-    /// Deterministic routing: two calls give the identical path.
-    #[test]
-    fn routes_deterministic(kind in arb_kind(), p in arb_p(), s in 0usize..64, d in 0usize..64) {
+/// Deterministic routing: two calls give the identical path.
+#[test]
+fn routes_deterministic() {
+    check("routes_deterministic", &kpsd(), |&(kind, p, s, d)| {
         let t = Topology::of_kind(kind, p);
         let (s, d) = (NodeId(s % p), NodeId(d % p));
         prop_assert_eq!(t.route(s, d), t.route(s, d));
-    }
+        Ok(())
+    });
+}
 
-    /// Every link is used by at least one route (no dead links), p >= 2.
-    #[test]
-    fn all_links_reachable(kind in arb_kind(), e in 1u32..=5) {
-        let p = 1usize << e;
-        let t = Topology::of_kind(kind, p);
-        let mut used = vec![false; t.links().len()];
-        for s in t.node_ids() {
-            for d in t.node_ids() {
-                for link in t.route(s, d) {
-                    used[link.0] = true;
+/// Every link is used by at least one route (no dead links), p >= 2.
+#[test]
+fn all_links_reachable() {
+    check(
+        "all_links_reachable",
+        &gens::tuple2(kinds(), gens::choice(vec![2usize, 4, 8, 16, 32])),
+        |&(kind, p)| {
+            let t = Topology::of_kind(kind, p);
+            let mut used = vec![false; t.links().len()];
+            for s in t.node_ids() {
+                for d in t.node_ids() {
+                    for link in t.route(s, d) {
+                        used[link.0] = true;
+                    }
                 }
             }
-        }
-        prop_assert!(used.iter().all(|&u| u), "{kind:?} p={p} has unused links");
-    }
+            prop_assert!(used.iter().all(|&u| u), "{kind:?} p={p} has unused links");
+            Ok(())
+        },
+    );
+}
 
-    /// Bisection width is positive and bounded by the total link count.
-    #[test]
-    fn bisection_sane(kind in arb_kind(), e in 1u32..=6) {
-        let p = 1usize << e;
-        let t = Topology::of_kind(kind, p);
-        let b = t.bisection_links();
-        prop_assert!(b > 0);
-        prop_assert!(b <= t.links().len());
-    }
+/// Bisection width is positive and bounded by the total link count.
+#[test]
+fn bisection_sane() {
+    check(
+        "bisection_sane",
+        &gens::tuple2(kinds(), gens::choice(vec![2usize, 4, 8, 16, 32, 64])),
+        |&(kind, p)| {
+            let t = Topology::of_kind(kind, p);
+            let b = t.bisection_links();
+            prop_assert!(b > 0);
+            prop_assert!(b <= t.links().len());
+            Ok(())
+        },
+    );
 }

@@ -92,7 +92,11 @@ fn main() {
 
         // Verify against the plain-Rust reference.
         let want = reference();
-        let final_grid = if STEPS.is_multiple_of(2) { &grid_a } else { &grid_b };
+        let final_grid = if STEPS.is_multiple_of(2) {
+            &grid_a
+        } else {
+            &grid_b
+        };
         let mut max_err = 0.0f64;
         for (i, &w) in want.iter().enumerate() {
             let got = report.final_store.read_f64(addr(final_grid, i));

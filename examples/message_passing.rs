@@ -77,7 +77,10 @@ fn main() {
         .unwrap_or(8);
 
     for (name, runner) in [
-        ("ring all-reduce", ring_all_reduce as fn(MachineKind, usize) -> RunReport),
+        (
+            "ring all-reduce",
+            ring_all_reduce as fn(MachineKind, usize) -> RunReport,
+        ),
         ("all-to-all", all_to_all),
     ] {
         println!("{name} on {p} processors (hypercube):");

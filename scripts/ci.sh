@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Canonical tier-1 gate for spasm-rs. Everything runs offline: the
+# workspace has no external dependencies (see DESIGN.md §7), so a plain
+# checkout on a machine with a Rust toolchain and no network must pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> tier-1 green"

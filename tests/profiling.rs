@@ -17,7 +17,10 @@ fn cg_traffic_attributes_to_named_structures() {
 
     let labels: Vec<&str> = r.region_traffic.iter().map(|&(l, _)| l).collect();
     for expected in ["barrier", "p-vec", "q-vec", "r-vec", "reduction", "x-vec"] {
-        assert!(labels.contains(&expected), "missing region {expected}: {labels:?}");
+        assert!(
+            labels.contains(&expected),
+            "missing region {expected}: {labels:?}"
+        );
     }
     // The mat-vec's irregular reads make p-vec the top message source
     // among the data vectors.

@@ -10,7 +10,12 @@ use spasm::core::{Experiment, Machine, Net};
 fn all_apps_verify_on_all_machines_and_networks() {
     for app in AppId::ALL {
         for net in Net::ALL {
-            for machine in [Machine::Pram, Machine::Target, Machine::LogP, Machine::CLogP] {
+            for machine in [
+                Machine::Pram,
+                Machine::Target,
+                Machine::LogP,
+                Machine::CLogP,
+            ] {
                 Experiment {
                     app,
                     size: SizeClass::Test,
