@@ -179,25 +179,32 @@ fn run_ablation(which: &str) {
 fn main() -> ExitCode {
     let args = parse_args();
     let mut csv = String::from("figure,app,net,metric,procs,machine,value\n");
+    let mut failed_points = 0;
     for spec in &args.figures {
         let started = std::time::Instant::now();
-        match run_figure(spec, args.size, &args.procs, args.seed) {
-            Ok(data) => {
-                println!("{}", data.render_table());
-                if args.chart {
-                    println!("{}", data.render_chart(12));
-                }
-                println!("  [swept in {:.1?}]\n", started.elapsed());
-                // Append all but the shared header line.
-                for line in data.to_csv().lines().skip(1) {
-                    csv.push_str(line);
-                    csv.push('\n');
+        let data = run_figure(spec, args.size, &args.procs, args.seed);
+        println!("{}", data.render_table());
+        if args.chart {
+            println!("{}", data.render_chart(12));
+        }
+        println!("  [swept in {:.1?}]\n", started.elapsed());
+        // Every failed point is named on stderr but does not abort the
+        // remaining figures.
+        for s in &data.series {
+            for (i, outcome) in s.outcomes.iter().enumerate() {
+                if let spasm_core::sweep::Outcome::Failed { error, attempts } = outcome {
+                    failed_points += 1;
+                    eprintln!(
+                        "{}: p={} {}: FAILED after {attempts} attempt(s): {error}",
+                        spec.id, data.procs[i], s.machine
+                    );
                 }
             }
-            Err(e) => {
-                eprintln!("{}: FAILED: {e}", spec.id);
-                return ExitCode::FAILURE;
-            }
+        }
+        // Append all but the shared header line.
+        for line in data.to_csv().lines().skip(1) {
+            csv.push_str(line);
+            csv.push('\n');
         }
     }
     if let Some(path) = args.csv {
@@ -208,6 +215,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if failed_points > 0 {
+        eprintln!("{failed_points} point(s) failed");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -27,15 +27,13 @@ pub fn parse_size(s: &str) -> Option<SizeClass> {
     }
 }
 
-/// Parses a comma-separated processor list.
+/// Parses a comma-separated processor list. Counts the networks cannot
+/// host (non-powers-of-two, zero) are accepted here: the resilient
+/// sweep layer reports them as typed `FAILED` points instead of the CLI
+/// guessing at validity.
 pub fn parse_procs(s: &str) -> Option<Vec<usize>> {
     s.split(',')
-        .map(|t| {
-            t.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|p| p.is_power_of_two())
-        })
+        .map(|t| t.trim().parse::<usize>().ok())
         .collect()
 }
 
@@ -55,7 +53,9 @@ mod tests {
     fn procs_parsing() {
         assert_eq!(parse_procs("2,4,8"), Some(vec![2, 4, 8]));
         assert_eq!(parse_procs("2, 16"), Some(vec![2, 16]));
-        assert_eq!(parse_procs("3"), None); // not a power of two
+        // Invalid counts parse; the sweep layer turns them into typed
+        // FAILED points rather than a CLI rejection.
+        assert_eq!(parse_procs("3"), Some(vec![3]));
         assert_eq!(parse_procs("2,x"), None);
     }
 }

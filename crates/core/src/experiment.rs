@@ -1,11 +1,12 @@
 //! One simulation experiment: configuration, execution, metrics.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use spasm_apps::{AppId, SizeClass};
 use spasm_logp::GapPolicy;
-use spasm_machine::{Engine, MachineConfig, MachineKind, RunError, SetupCtx};
+use spasm_machine::{Engine, MachineConfig, MachineKind, ProcBody, RunError, SetupCtx};
 use spasm_topology::{Topology, TopologyKind};
 
 /// Network selection for an experiment (mirrors `TopologyKind`, with the
@@ -73,6 +74,15 @@ pub enum Machine {
 }
 
 impl Machine {
+    /// All five characterizations (the four machines plus the A1 variant).
+    pub const ALL: [Machine; 5] = [
+        Machine::Pram,
+        Machine::Target,
+        Machine::LogP,
+        Machine::CLogP,
+        Machine::CLogPPerEventGap,
+    ];
+
     /// The underlying machine kind.
     pub fn kind(self) -> MachineKind {
         match self {
@@ -138,22 +148,53 @@ pub struct Experiment {
 /// Why an experiment failed.
 #[derive(Debug)]
 pub enum ExperimentError {
-    /// The simulation itself failed (panic or deadlock).
+    /// The experiment was rejected before anything ran: bad processor
+    /// count, oversized topology, and friends.
+    Config(String),
+    /// The simulation itself failed (panic, deadlock, exhausted budget,
+    /// bad request).
     Run(RunError),
     /// The simulation completed but produced a wrong answer.
     Verify(String),
+    /// A panic escaped the simulation infrastructure itself (builder,
+    /// model, or verifier) and was caught at the experiment boundary.
+    Aborted(String),
 }
 
 impl fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ExperimentError::Config(e) => write!(f, "invalid configuration: {e}"),
             ExperimentError::Run(e) => write!(f, "simulation failed: {e}"),
             ExperimentError::Verify(e) => write!(f, "verification failed: {e}"),
+            ExperimentError::Aborted(e) => write!(f, "experiment aborted: {e}"),
         }
     }
 }
 
 impl std::error::Error for ExperimentError {}
+
+impl ExperimentError {
+    /// True for failures that a bounded retry with a reseeded fault
+    /// stream may clear: only resource-budget exhaustion qualifies —
+    /// deadlocks, panics, config and verify errors are deterministic
+    /// for a fixed seed and will simply recur.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ExperimentError::Run(RunError::BudgetExceeded { .. }))
+    }
+}
+
+/// Renders a caught panic payload (best effort: `&str` and `String`
+/// payloads are quoted, anything else is described).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The measurements of one run, in the units the paper's figures use.
 #[derive(Debug, Clone, Copy)]
@@ -193,35 +234,91 @@ impl Experiment {
         self.run_with_config(self.machine.config())
     }
 
-    /// Runs the experiment with an explicit machine configuration — used
-    /// by the ablations (gap policy, scaled g).
+    /// Checks the experiment's static configuration without running it:
+    /// the processor count must be a nonzero power of two that the chosen
+    /// network can host.
     ///
     /// # Errors
     ///
-    /// As [`Experiment::run`].
-    pub fn run_with_config(&self, config: MachineConfig) -> Result<RunMetrics, ExperimentError> {
-        let topo = Topology::of_kind(self.net.kind(), self.procs);
-        let mut setup = SetupCtx::new(self.procs);
-        let app = self.app.instantiate(self.size);
-        let built = app.build(&mut setup, self.seed);
-        let mut engine =
-            Engine::with_config(self.machine.kind(), &topo, config, setup, built.bodies);
-        let report = engine.run().map_err(ExperimentError::Run)?;
-        (built.verify)(&report.final_store).map_err(ExperimentError::Verify)?;
-        let p = report.procs() as f64;
-        Ok(RunMetrics {
-            exec_us: report.exec_time_us(),
-            latency_us: report.latency_overhead_us(),
-            contention_us: report.contention_overhead_us(),
-            sync_us: report.totals.sync.as_us_f64() / p,
-            dir_wait_us: report.totals.dir_wait.as_us_f64() / p,
-            messages: report.summary.net_messages,
-            bytes: report.summary.net_bytes,
-            events: report.events,
-            crossing_fraction: report.summary.crossing_fraction(),
-            wall: report.wall,
-        })
+    /// [`ExperimentError::Config`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        Topology::try_of_kind(self.net.kind(), self.procs)
+            .map(|_| ())
+            .map_err(|e| ExperimentError::Config(e.to_string()))
     }
+
+    /// Runs the experiment with an explicit machine configuration — used
+    /// by the ablations (gap policy, scaled g) and by faulted sweeps
+    /// (fault plan, run budget).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`], plus [`ExperimentError::Config`] for an
+    /// invalid topology request. Panics from the application builder,
+    /// the machine models, or the verifier are caught at this boundary
+    /// and surface as [`ExperimentError::Aborted`] — they never escape
+    /// to poison a sweep.
+    pub fn run_with_config(&self, config: MachineConfig) -> Result<RunMetrics, ExperimentError> {
+        let topo = Topology::try_of_kind(self.net.kind(), self.procs)
+            .map_err(|e| ExperimentError::Config(e.to_string()))?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut setup = SetupCtx::new(self.procs);
+            let app = self.app.instantiate(self.size);
+            let built = app.build(&mut setup, self.seed);
+            let mut engine =
+                Engine::with_config(self.machine.kind(), &topo, config, setup, built.bodies);
+            let report = engine.run().map_err(ExperimentError::Run)?;
+            (built.verify)(&report.final_store).map_err(ExperimentError::Verify)?;
+            Ok(metrics_of(&report))
+        }));
+        outcome.unwrap_or_else(|payload| Err(ExperimentError::Aborted(panic_message(&*payload))))
+    }
+}
+
+/// Extracts figure-ready metrics from an engine report.
+fn metrics_of(report: &spasm_machine::RunReport) -> RunMetrics {
+    let p = report.procs() as f64;
+    RunMetrics {
+        exec_us: report.exec_time_us(),
+        latency_us: report.latency_overhead_us(),
+        contention_us: report.contention_overhead_us(),
+        sync_us: report.totals.sync.as_us_f64() / p,
+        dir_wait_us: report.totals.dir_wait.as_us_f64() / p,
+        messages: report.summary.net_messages,
+        bytes: report.summary.net_bytes,
+        events: report.events,
+        crossing_fraction: report.summary.crossing_fraction(),
+        wall: report.wall,
+    }
+}
+
+/// Runs caller-supplied processor bodies through the full experiment
+/// pipeline — topology validation, engine execution, panic isolation —
+/// on one machine characterization. This is the harness the resilience
+/// suite uses to throw hostile workloads (deadlocks, panics, livelocks)
+/// at every machine and demand a typed error back.
+///
+/// # Errors
+///
+/// [`ExperimentError::Config`] for an invalid topology request,
+/// [`ExperimentError::Run`] for simulation failures, and
+/// [`ExperimentError::Aborted`] if a panic escapes the engine itself.
+pub fn run_bodies(
+    machine: Machine,
+    net: Net,
+    procs: usize,
+    config: MachineConfig,
+    setup: SetupCtx,
+    bodies: Vec<ProcBody>,
+) -> Result<RunMetrics, ExperimentError> {
+    let topo = Topology::try_of_kind(net.kind(), procs)
+        .map_err(|e| ExperimentError::Config(e.to_string()))?;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = Engine::with_config(machine.kind(), &topo, config, setup, bodies);
+        let report = engine.run().map_err(ExperimentError::Run)?;
+        Ok(metrics_of(&report))
+    }));
+    outcome.unwrap_or_else(|payload| Err(ExperimentError::Aborted(panic_message(&*payload))))
 }
 
 #[cfg(test)]
@@ -277,6 +374,51 @@ mod tests {
         .unwrap();
         assert_eq!(m.messages, 0);
         assert_eq!(m.latency_us, 0.0);
+    }
+
+    #[test]
+    fn invalid_processor_counts_are_config_errors() {
+        let base = Experiment {
+            app: AppId::Ep,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine: Machine::Pram,
+            procs: 3,
+            seed: 1,
+        };
+        for (procs, needle) in [(3, "power of two"), (0, "positive"), (1 << 20, "maximum")] {
+            let exp = Experiment { procs, ..base };
+            match exp.validate() {
+                Err(ExperimentError::Config(msg)) => {
+                    assert!(msg.contains(needle), "procs={procs}: {msg}")
+                }
+                other => panic!("procs={procs}: expected Config error, got {other:?}"),
+            }
+            // `run` must agree with `validate`, not panic.
+            assert!(matches!(exp.run(), Err(ExperimentError::Config(_))));
+        }
+        assert!(Experiment { procs: 4, ..base }.validate().is_ok());
+    }
+
+    #[test]
+    fn panicking_bodies_yield_typed_errors_not_aborts() {
+        use spasm_machine::ProcBody;
+        for machine in Machine::ALL {
+            let setup = SetupCtx::new(2);
+            let bodies: Vec<ProcBody> = vec![
+                Box::new(|_, _| panic!("app body exploded")),
+                Box::new(|_, _| {}),
+            ];
+            let err =
+                run_bodies(machine, Net::Full, 2, machine.config(), setup, bodies).unwrap_err();
+            match err {
+                ExperimentError::Run(RunError::Panicked { proc, message }) => {
+                    assert_eq!(proc, 0, "{machine}");
+                    assert!(message.contains("exploded"), "{machine}: {message}");
+                }
+                other => panic!("{machine}: expected Panicked, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -39,4 +39,4 @@ mod experiment;
 pub mod figures;
 pub mod sweep;
 
-pub use experiment::{Experiment, ExperimentError, Machine, Net, RunMetrics};
+pub use experiment::{run_bodies, Experiment, ExperimentError, Machine, Net, RunMetrics};

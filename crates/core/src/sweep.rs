@@ -1,13 +1,20 @@
 //! Processor sweeps over a figure's series, with table/CSV rendering.
+//!
+//! Sweeps are *resilient*: a failed point (invalid configuration,
+//! exhausted budget, deadlock, wrong answer) is recorded as a
+//! [`Outcome::Failed`] cell instead of aborting the whole figure, and
+//! budget-class failures get a bounded retry with a reseeded fault
+//! stream before being declared dead.
 
 use spasm_apps::SizeClass;
+use spasm_machine::{FaultPlan, RunBudget};
 
 use crate::figures::{FigureSpec, Metric};
 use crate::{Experiment, ExperimentError, Machine, RunMetrics};
 
 /// One figure's regenerated data: `values[series][point]` aligned with
 /// `procs[point]`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FigureData {
     /// The figure this data regenerates.
     pub spec: FigureSpec,
@@ -18,14 +25,66 @@ pub struct FigureData {
 }
 
 /// One machine's curve.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Series {
     /// The machine simulated.
     pub machine: Machine,
-    /// The plotted metric at each processor count.
+    /// The plotted metric at each processor count; `NaN` for failed
+    /// points (renderers show `FAILED`, never a bogus number).
     pub values: Vec<f64>,
-    /// Full metrics (for secondary analysis).
-    pub metrics: Vec<RunMetrics>,
+    /// Full metrics (for secondary analysis); `None` for failed points.
+    pub metrics: Vec<Option<RunMetrics>>,
+    /// Per-point outcome, aligned with `values`.
+    pub outcomes: Vec<Outcome>,
+}
+
+/// What happened at one sweep point.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The run completed and verified.
+    Ok,
+    /// The point failed after `attempts` attempts; the error is from the
+    /// final attempt.
+    Failed {
+        /// The final attempt's error.
+        error: ExperimentError,
+        /// How many attempts were made (1 unless the failure was
+        /// budget-class and a fault plan allowed reseeded retries).
+        attempts: u32,
+    },
+}
+
+impl Outcome {
+    /// True for a completed point.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok)
+    }
+}
+
+/// Sweep-level resilience knobs, applied on top of each machine's own
+/// configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Deterministic fault plan injected into every run (`None` for a
+    /// healthy sweep).
+    pub faults: Option<FaultPlan>,
+    /// Resource budget per run; an exceeded budget fails the point, not
+    /// the figure.
+    pub budget: RunBudget,
+    /// Attempt ceiling per point. Retries happen only for budget-class
+    /// failures under an active fault plan (each retry reseeds the fault
+    /// stream); deterministic failures are never retried.
+    pub max_attempts: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            faults: None,
+            budget: RunBudget::UNLIMITED,
+            max_attempts: 3,
+        }
+    }
 }
 
 /// Extracts a figure's plotted metric from run metrics.
@@ -39,50 +98,100 @@ pub fn extract(metric: Metric, m: &RunMetrics) -> f64 {
     }
 }
 
-/// Runs the full processor sweep for one figure.
-///
-/// # Errors
-///
-/// Propagates the first simulation or verification failure.
-pub fn run_figure(
+/// Runs the full processor sweep for one figure with default resilience
+/// settings (no faults, no budget). Never fails as a whole: each point
+/// carries its own [`Outcome`].
+pub fn run_figure(spec: &FigureSpec, size: SizeClass, procs: &[usize], seed: u64) -> FigureData {
+    run_figure_with(spec, size, procs, seed, SweepConfig::default())
+}
+
+/// Runs the sweep under explicit resilience settings: optional fault
+/// injection, per-run budgets, and bounded reseeded retries for
+/// budget-class failures.
+pub fn run_figure_with(
     spec: &FigureSpec,
     size: SizeClass,
     procs: &[usize],
     seed: u64,
-) -> Result<FigureData, ExperimentError> {
+    sweep: SweepConfig,
+) -> FigureData {
     let mut series = Vec::with_capacity(spec.machines.len());
     for &machine in spec.machines {
         let mut values = Vec::with_capacity(procs.len());
         let mut metrics = Vec::with_capacity(procs.len());
+        let mut outcomes = Vec::with_capacity(procs.len());
         for &p in procs {
-            let m = Experiment {
+            let exp = Experiment {
                 app: spec.app,
                 size,
                 net: spec.net,
                 machine,
                 procs: p,
                 seed,
-            }
-            .run()?;
-            values.push(extract(spec.metric, &m));
+            };
+            let (outcome, m) = run_point(&exp, machine, sweep);
+            values.push(m.as_ref().map_or(f64::NAN, |m| extract(spec.metric, m)));
             metrics.push(m);
+            outcomes.push(outcome);
         }
         series.push(Series {
             machine,
             values,
             metrics,
+            outcomes,
         });
     }
-    Ok(FigureData {
+    FigureData {
         spec: *spec,
         procs: procs.to_vec(),
         series,
-    })
+    }
+}
+
+/// Runs one sweep point with bounded retry. A retry is worthwhile only
+/// when the failure is budget-class *and* a fault plan is active — a
+/// reseeded fault stream changes the run; without faults the simulation
+/// is deterministic and would fail identically.
+fn run_point(
+    exp: &Experiment,
+    machine: Machine,
+    sweep: SweepConfig,
+) -> (Outcome, Option<RunMetrics>) {
+    let max_attempts = sweep.max_attempts.max(1);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let mut config = machine.config();
+        config.budget = sweep.budget;
+        config.faults = sweep.faults.map(|f| {
+            if attempts == 1 {
+                f
+            } else {
+                f.reseeded(attempts as u64)
+            }
+        });
+        match exp.run_with_config(config) {
+            Ok(m) => return (Outcome::Ok, Some(m)),
+            Err(e) if e.is_retryable() && sweep.faults.is_some() && attempts < max_attempts => {
+                continue
+            }
+            Err(e) => return (Outcome::Failed { error: e, attempts }, None),
+        }
+    }
 }
 
 impl FigureData {
+    /// Number of failed points across all series.
+    pub fn failed_points(&self) -> usize {
+        self.series
+            .iter()
+            .flat_map(|s| s.outcomes.iter())
+            .filter(|o| !o.is_ok())
+            .count()
+    }
+
     /// Renders the figure as an aligned text table (the harness's
-    /// stand-in for the paper's plots).
+    /// stand-in for the paper's plots). Failed points render as `FAILED`.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -97,18 +206,35 @@ impl FigureData {
         for (i, &p) in self.procs.iter().enumerate() {
             out.push_str(&format!("  {p:>6}"));
             for s in &self.series {
-                out.push_str(&format!(" {:>14.2}", s.values[i]));
+                let v = s.values[i];
+                if v.is_finite() {
+                    out.push_str(&format!(" {v:>14.2}"));
+                } else {
+                    out.push_str(&format!(" {:>14}", "FAILED"));
+                }
             }
             out.push('\n');
+        }
+        let failed = self.failed_points();
+        if failed > 0 {
+            out.push_str(&format!("  ({failed} point(s) FAILED)\n"));
         }
         out
     }
 
     /// Renders the figure as CSV (`figure,app,net,metric,procs,series,value`).
+    /// Failed points emit the literal `FAILED` so downstream consumers
+    /// fail loudly instead of silently plotting `NaN` as zero.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("figure,app,net,metric,procs,machine,value\n");
         for s in &self.series {
             for (i, &p) in self.procs.iter().enumerate() {
+                let v = s.values[i];
+                let cell = if v.is_finite() {
+                    v.to_string()
+                } else {
+                    "FAILED".to_string()
+                };
                 out.push_str(&format!(
                     "{},{},{},{:?},{},{},{}\n",
                     self.spec.id,
@@ -117,7 +243,7 @@ impl FigureData {
                     self.spec.metric,
                     p,
                     s.machine,
-                    s.values[i]
+                    cell
                 ));
             }
         }
@@ -132,7 +258,7 @@ impl FigureData {
     /// Renders the figure as an ASCII chart (the closest a terminal gets
     /// to the paper's plots): y is the metric on a linear scale from zero
     /// to the maximum observed value, x is the processor sweep, one glyph
-    /// per series.
+    /// per series. Failed points show as `?` on the baseline.
     ///
     /// Intended for eyeballing curve *shapes*; exact values are in
     /// [`FigureData::render_table`].
@@ -143,6 +269,7 @@ impl FigureData {
             .series
             .iter()
             .flat_map(|s| s.values.iter().copied())
+            .filter(|v| v.is_finite())
             .fold(0.0f64, f64::max);
         let mut out = String::new();
         out.push_str(&format!(
@@ -159,9 +286,14 @@ impl FigureData {
         for (si, s) in self.series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for (pi, &v) in s.values.iter().enumerate() {
+                let c = pi * col_w + col_w / 2;
+                if !v.is_finite() {
+                    // Failed point: a question mark on the baseline.
+                    grid[height - 1][c] = '?';
+                    continue;
+                }
                 let row = ((v / max) * (height - 1) as f64).round() as usize;
                 let r = height - 1 - row.min(height - 1);
-                let c = pi * col_w + col_w / 2;
                 // Overlapping points show the later series' glyph with a
                 // '*' marker to flag the collision.
                 grid[r][c] = if grid[r][c] == ' ' { glyph } else { '*' };
@@ -184,7 +316,7 @@ impl FigureData {
         for (si, s) in self.series.iter().enumerate() {
             out.push_str(&format!(" {}={}", GLYPHS[si % GLYPHS.len()], s.machine));
         }
-        out.push_str("  (*=overlap)\n");
+        out.push_str("  (*=overlap, ?=failed)\n");
         out
     }
 }
@@ -199,22 +331,28 @@ mod tests {
     #[test]
     fn small_sweep_produces_aligned_data() {
         let spec = figures::by_id("F1").unwrap();
-        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5).unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5);
         assert_eq!(data.procs, vec![2, 4]);
         assert_eq!(data.series.len(), 3);
+        assert_eq!(data.failed_points(), 0);
         for s in &data.series {
             assert_eq!(s.values.len(), 2);
+            assert_eq!(s.metrics.len(), 2);
+            assert_eq!(s.outcomes.len(), 2);
             assert!(s.values.iter().all(|v| v.is_finite()));
+            assert!(s.metrics.iter().all(|m| m.is_some()));
+            assert!(s.outcomes.iter().all(|o| o.is_ok()));
         }
     }
 
     #[test]
     fn table_and_csv_render() {
         let spec = figures::by_id("F12").unwrap();
-        let data = run_figure(spec, SizeClass::Test, &[2], 5).unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2], 5);
         let table = data.render_table();
         assert!(table.contains("F12"));
         assert!(table.contains("target"));
+        assert!(!table.contains("FAILED"));
         let csv = data.to_csv();
         assert_eq!(csv.lines().count(), 1 + 3); // header + 3 series x 1 p
         assert!(csv.contains("F12,ep,full"));
@@ -223,7 +361,7 @@ mod tests {
     #[test]
     fn chart_renders_axes_key_and_points() {
         let spec = figures::by_id("F12").unwrap();
-        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5).unwrap();
+        let data = run_figure(spec, SizeClass::Test, &[2, 4], 5);
         let chart = data.render_chart(8);
         assert!(chart.contains("F12"));
         assert!(chart.contains("T=target"));
@@ -249,7 +387,7 @@ mod tests {
             machines: &[Machine::Pram],
             expect: "zeros",
         };
-        let data = run_figure(&spec, SizeClass::Test, &[2], 1).unwrap();
+        let data = run_figure(&spec, SizeClass::Test, &[2], 1);
         assert!(data.render_chart(6).contains("all values zero"));
     }
 
@@ -263,12 +401,99 @@ mod tests {
             machines: &[Machine::Pram, Machine::Target],
             expect: "test",
         };
-        let data = run_figure(&spec, SizeClass::Test, &[2], 1).unwrap();
+        let data = run_figure(&spec, SizeClass::Test, &[2], 1);
         assert!(data.series_for(Machine::Pram).is_some());
         assert!(data.series_for(Machine::LogP).is_none());
         // PRAM is the ideal-time floor.
         let pram = data.series_for(Machine::Pram).unwrap().values[0];
         let target = data.series_for(Machine::Target).unwrap().values[0];
         assert!(pram <= target);
+    }
+
+    #[test]
+    fn invalid_point_fails_without_dropping_healthy_points() {
+        // p = 3 is not a power of two: that single point must fail with a
+        // Config error while 2 and 4 survive in every series.
+        let spec = figures::FigureSpec {
+            id: "R",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::ExecTime,
+            machines: &[Machine::Pram, Machine::Target],
+            expect: "one failed column",
+        };
+        let data = run_figure(&spec, SizeClass::Test, &[2, 3, 4], 1);
+        assert_eq!(data.failed_points(), 2); // one per series
+        for s in &data.series {
+            assert!(s.values[0].is_finite());
+            assert!(s.values[1].is_nan());
+            assert!(s.values[2].is_finite());
+            match &s.outcomes[1] {
+                Outcome::Failed { error, attempts } => {
+                    assert!(matches!(error, ExperimentError::Config(_)), "{error}");
+                    assert_eq!(*attempts, 1, "config errors must not be retried");
+                }
+                other => panic!("expected Failed outcome, got {other:?}"),
+            }
+        }
+        let table = data.render_table();
+        assert!(table.contains("FAILED"), "{table}");
+        let csv = data.to_csv();
+        assert!(csv.contains(",3,pram,FAILED"), "{csv}");
+        let chart = data.render_chart(6);
+        assert!(chart.contains('?'), "{chart}");
+    }
+
+    #[test]
+    fn budget_failures_retry_reseeded_then_fail_typed() {
+        // An absurdly small event budget under an active fault plan: every
+        // attempt exhausts the budget, so the point fails after exactly
+        // `max_attempts` reseeded tries.
+        let spec = figures::FigureSpec {
+            id: "B",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::ExecTime,
+            machines: &[Machine::Target],
+            expect: "budget exceeded",
+        };
+        let sweep = SweepConfig {
+            faults: Some(FaultPlan::quiet(7)),
+            budget: RunBudget::events(3),
+            max_attempts: 2,
+        };
+        let data = run_figure_with(&spec, SizeClass::Test, &[2], 1, sweep);
+        match &data.series[0].outcomes[0] {
+            Outcome::Failed { error, attempts } => {
+                assert!(
+                    matches!(
+                        error,
+                        ExperimentError::Run(spasm_machine::RunError::BudgetExceeded { .. })
+                    ),
+                    "{error}"
+                );
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected Failed outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_is_deterministic_per_fault_seed() {
+        let spec = figures::by_id("F12").unwrap();
+        let sweep = SweepConfig {
+            faults: Some(FaultPlan::adversarial(11)),
+            ..SweepConfig::default()
+        };
+        let a = run_figure_with(spec, SizeClass::Test, &[2], 5, sweep);
+        let b = run_figure_with(spec, SizeClass::Test, &[2], 5, sweep);
+        for (sa, sb) in a.series.iter().zip(&b.series) {
+            assert_eq!(
+                sa.values[0].to_bits(),
+                sb.values[0].to_bits(),
+                "{}",
+                sa.machine
+            );
+        }
     }
 }

@@ -47,6 +47,22 @@ impl fmt::Display for Addr {
     }
 }
 
+/// A lookup of an address that no allocation covers.
+///
+/// Surfaced by the engine as [`crate::RunError::UnallocatedAddress`]; an
+/// application that fabricates a pointer gets a typed error for the whole
+/// run, not a process abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnallocatedAddress(pub Addr);
+
+impl fmt::Display for UnallocatedAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "address {} not allocated", self.0)
+    }
+}
+
+impl std::error::Error for UnallocatedAddress {}
+
 #[derive(Debug, Clone)]
 struct Region {
     start: u64,
@@ -114,34 +130,31 @@ impl AddressMap {
         Addr(start)
     }
 
-    /// The home node of `addr`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` was never allocated.
-    pub fn home_of(&self, addr: Addr) -> usize {
-        let i = self.regions.partition_point(|r| r.end <= addr.0);
-        let r = self
-            .regions
-            .get(i)
-            .filter(|r| r.start <= addr.0 && addr.0 < r.end)
-            .unwrap_or_else(|| panic!("address {addr} not allocated"));
-        r.home
-    }
-
-    /// The label of the region containing `addr`, if it was allocated
-    /// with one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `addr` was never allocated.
-    pub fn label_of(&self, addr: Addr) -> Option<&'static str> {
+    fn region_of(&self, addr: Addr) -> Option<&Region> {
         let i = self.regions.partition_point(|r| r.end <= addr.0);
         self.regions
             .get(i)
             .filter(|r| r.start <= addr.0 && addr.0 < r.end)
-            .unwrap_or_else(|| panic!("address {addr} not allocated"))
-            .label
+    }
+
+    /// The home node of `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnallocatedAddress`] if no allocation covers `addr` — surfaced by
+    /// the engine as [`crate::RunError::UnallocatedAddress`].
+    pub fn home_of(&self, addr: Addr) -> Result<usize, UnallocatedAddress> {
+        self.region_of(addr)
+            .map(|r| r.home)
+            .ok_or(UnallocatedAddress(addr))
+    }
+
+    /// The label of the region containing `addr`, if the address is
+    /// allocated and the region was labeled. An unallocated address
+    /// simply has no label; [`AddressMap::home_of`] is the lookup that
+    /// reports unallocated addresses as errors.
+    pub fn label_of(&self, addr: Addr) -> Option<&'static str> {
+        self.region_of(addr).and_then(|r| r.label)
     }
 
     /// Number of nodes.
@@ -189,18 +202,21 @@ mod tests {
         let mut m = AddressMap::new(4);
         let a = m.alloc(3, 4);
         let b = m.alloc(1, 100);
-        assert_eq!(m.home_of(a), 3);
-        assert_eq!(m.home_of(a.offset_words(3)), 3);
-        assert_eq!(m.home_of(b), 1);
-        assert_eq!(m.home_of(b.offset_words(99)), 1);
+        assert_eq!(m.home_of(a), Ok(3));
+        assert_eq!(m.home_of(a.offset_words(3)), Ok(3));
+        assert_eq!(m.home_of(b), Ok(1));
+        assert_eq!(m.home_of(b.offset_words(99)), Ok(1));
     }
 
     #[test]
-    #[should_panic(expected = "not allocated")]
-    fn unallocated_address_panics() {
+    fn unallocated_address_is_a_typed_error() {
         let mut m = AddressMap::new(2);
         m.alloc(0, 1);
-        m.home_of(Addr(1000));
+        assert_eq!(m.home_of(Addr(1000)), Err(UnallocatedAddress(Addr(1000))));
+        assert_eq!(m.label_of(Addr(1000)), None);
+        assert!(UnallocatedAddress(Addr(1000))
+            .to_string()
+            .contains("not allocated"));
     }
 
     #[test]

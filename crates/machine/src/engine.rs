@@ -6,8 +6,10 @@ use std::time::{Duration, Instant};
 
 use spasm_cache::AccessKind;
 use spasm_desim::{CoroCtx, CoroPool, EventQueue, SimTime, Step};
-use spasm_topology::Topology;
+use spasm_topology::{Topology, TopologyError};
 
+use crate::addr::UnallocatedAddress;
+use crate::faults::{FaultCounters, FaultInjector, RunBudget};
 use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
 use crate::ops::{MemReq, MemResp, Pred, RmwOp};
 use crate::stats::{Buckets, ProcStats};
@@ -17,6 +19,10 @@ use crate::{Addr, AddressMap, SetupCtx, ValueStore, CYCLE_NS};
 pub type ProcBody = Box<dyn FnOnce(usize, &CoroCtx<MemReq, MemResp>) + Send + 'static>;
 
 /// Why a simulation failed.
+///
+/// Every variant is a *typed* outcome of [`Engine::run`]: application-level
+/// failure modes (panic, deadlock, bad request) and injected or configured
+/// limits (budget) end the run with an error value, never a process abort.
 #[derive(Debug)]
 pub enum RunError {
     /// A processor's body panicked.
@@ -34,6 +40,33 @@ pub enum RunError {
         /// Processors still blocked.
         waiting: Vec<usize>,
     },
+    /// The run exceeded its [`RunBudget`] (livelock, runaway workload, or
+    /// a deliberately tight bound).
+    BudgetExceeded {
+        /// Simulated time when the budget tripped.
+        at: SimTime,
+        /// Events processed when the budget tripped.
+        events: u64,
+    },
+    /// A memory operation named an address outside every allocation.
+    UnallocatedAddress {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A message could not be routed (out-of-range node or a broken
+    /// link table).
+    Route {
+        /// The underlying topology error.
+        error: TopologyError,
+    },
+    /// A processor issued a malformed request (unaligned access,
+    /// out-of-range destination, oversized message, double receive).
+    BadRequest {
+        /// The processor.
+        proc: usize,
+        /// What was wrong with the request.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -48,11 +81,33 @@ impl fmt::Display for RunError {
                     "deadlock at {at}: processors {waiting:?} blocked forever"
                 )
             }
+            RunError::BudgetExceeded { at, events } => {
+                write!(f, "run budget exceeded at {at} after {events} events")
+            }
+            RunError::UnallocatedAddress { addr } => {
+                write!(f, "address {addr} not allocated")
+            }
+            RunError::Route { error } => write!(f, "routing failed: {error}"),
+            RunError::BadRequest { proc, message } => {
+                write!(f, "processor {proc} issued a bad request: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+impl From<UnallocatedAddress> for RunError {
+    fn from(e: UnallocatedAddress) -> Self {
+        RunError::UnallocatedAddress { addr: e.0 }
+    }
+}
+
+impl From<TopologyError> for RunError {
+    fn from(error: TopologyError) -> Self {
+        RunError::Route { error }
+    }
+}
 
 /// Results of one simulation run.
 #[derive(Debug)]
@@ -75,6 +130,9 @@ pub struct RunReport {
     pub region_traffic: Vec<(&'static str, Buckets)>,
     /// The shared memory at completion, for result verification.
     pub final_store: ValueStore,
+    /// Faults actually injected during the run (all zero when no
+    /// [`crate::FaultPlan`] was configured).
+    pub faults: FaultCounters,
     /// Host wall-clock time the simulation took (§7 "Speed of Simulation").
     pub wall: Duration,
 }
@@ -145,6 +203,9 @@ pub struct Engine {
     stats: Vec<ProcStats>,
     live: usize,
     now: SimTime,
+    budget: RunBudget,
+    injector: Option<FaultInjector>,
+    processed: u64,
 }
 
 impl fmt::Debug for Engine {
@@ -204,6 +265,12 @@ impl Engine {
             stats: vec![ProcStats::default(); p],
             live: p,
             now: SimTime::ZERO,
+            budget: config.budget,
+            injector: config
+                .faults
+                .filter(|f| f.is_active())
+                .map(FaultInjector::new),
+            processed: 0,
         }
     }
 
@@ -211,9 +278,12 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::Panicked`] if application code panics, and
+    /// Returns [`RunError::Panicked`] if application code panics,
     /// [`RunError::Deadlock`] if all remaining processors are blocked on
-    /// waits that can never be satisfied.
+    /// waits that can never be satisfied, [`RunError::BudgetExceeded`]
+    /// when a configured [`RunBudget`] trips (the only way a *livelock* —
+    /// e.g. a polling spin whose flag never flips — terminates), and the
+    /// remaining variants for malformed requests.
     pub fn run(&mut self) -> Result<RunReport, RunError> {
         let wall_start = Instant::now();
         let p = self.stats.len();
@@ -223,6 +293,18 @@ impl Engine {
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            self.processed += 1;
+            if self
+                .budget
+                .max_events
+                .is_some_and(|max| self.processed > max)
+                || self.budget.max_sim_time.is_some_and(|max| t > max)
+            {
+                return Err(RunError::BudgetExceeded {
+                    at: self.now,
+                    events: self.processed,
+                });
+            }
             match ev {
                 Ev::Dispatch(proc, req) => self.dispatch(proc, req)?,
                 Ev::Commit(proc, action) => self.commit(proc, action)?,
@@ -266,6 +348,11 @@ impl Engine {
             summary: self.model.summary(p),
             region_traffic,
             final_store: self.store.clone(),
+            faults: self
+                .injector
+                .as_ref()
+                .map(|i| i.counters)
+                .unwrap_or_default(),
             wall: wall_start.elapsed(),
         })
     }
@@ -281,22 +368,22 @@ impl Engine {
                     .push(now + dur, Ev::Commit(proc, Action::Compute));
             }
             MemReq::Read { addr } => {
-                let finish = self.priced_access(proc, addr, AccessKind::Read);
+                let finish = self.priced_access(proc, addr, AccessKind::Read)?;
                 self.events
                     .push(finish, Ev::Commit(proc, Action::Read(addr)));
             }
             MemReq::Write { addr, value } => {
-                let finish = self.priced_access(proc, addr, AccessKind::Write);
+                let finish = self.priced_access(proc, addr, AccessKind::Write)?;
                 self.events
                     .push(finish, Ev::Commit(proc, Action::Write(addr, value)));
             }
             MemReq::Rmw { addr, op } => {
-                let finish = self.priced_access(proc, addr, AccessKind::Write);
+                let finish = self.priced_access(proc, addr, AccessKind::Write)?;
                 self.events
                     .push(finish, Ev::Commit(proc, Action::Rmw(addr, op)));
             }
             MemReq::WaitUntil { addr, pred } => {
-                let finish = self.priced_access(proc, addr, AccessKind::Read);
+                let finish = self.priced_access(proc, addr, AccessKind::Read)?;
                 self.events
                     .push(finish, Ev::Commit(proc, Action::Check(addr, pred)));
             }
@@ -306,17 +393,34 @@ impl Engine {
                 tag,
                 value,
             } => {
-                assert!(
-                    (1..=32).contains(&bytes),
-                    "message size {bytes} outside 1..=32 bytes"
-                );
-                assert!(dst < self.stats.len(), "destination {dst} out of range");
-                let cost = self.model.msg_send(self.now, proc, dst, bytes);
+                if !(1..=32).contains(&bytes) {
+                    return Err(RunError::BadRequest {
+                        proc,
+                        message: format!("message size {bytes} outside 1..=32 bytes"),
+                    });
+                }
+                if dst >= self.stats.len() {
+                    return Err(RunError::BadRequest {
+                        proc,
+                        message: format!("destination {dst} out of range"),
+                    });
+                }
+                let cost = self.model.msg_send(self.now, proc, dst, bytes)?;
                 self.stats[proc].buckets.add(&cost.buckets);
+                let mut delivered = cost.delivered;
+                if let Some(inj) = &mut self.injector {
+                    if let Some(delay) = inj.message_delay() {
+                        delivered += delay;
+                    }
+                    if inj.duplicate() {
+                        // The copy trails the original on the same tag;
+                        // FIFO mailboxes keep the order deterministic.
+                        self.events.push(delivered, Ev::Deliver { dst, tag, value });
+                    }
+                }
                 self.events
                     .push(cost.sender_free, Ev::Commit(proc, Action::Sent));
-                self.events
-                    .push(cost.delivered, Ev::Deliver { dst, tag, value });
+                self.events.push(delivered, Ev::Deliver { dst, tag, value });
             }
             MemReq::Recv { tag } => {
                 if let Some(value) = self
@@ -329,10 +433,12 @@ impl Engine {
                     self.events
                         .push(finish, Ev::Commit(proc, Action::Received(value)));
                 } else {
-                    assert!(
-                        self.recv_wait[proc].is_none(),
-                        "processor {proc} already blocked in recv"
-                    );
+                    if self.recv_wait[proc].is_some() {
+                        return Err(RunError::BadRequest {
+                            proc,
+                            message: format!("processor {proc} already blocked in recv"),
+                        });
+                    }
                     self.recv_wait[proc] = Some(tag);
                     if self.wait_start[proc].is_none() {
                         self.wait_start[proc] = Some(self.now);
@@ -343,9 +449,36 @@ impl Engine {
         Ok(())
     }
 
-    fn priced_access(&mut self, proc: usize, addr: Addr, kind: AccessKind) -> SimTime {
-        assert!(addr.is_word_aligned(), "unaligned access at {addr}");
-        let cost = self.model.access(self.now, proc, addr, &self.amap, kind);
+    fn priced_access(
+        &mut self,
+        proc: usize,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> Result<SimTime, RunError> {
+        if !addr.is_word_aligned() {
+            return Err(RunError::BadRequest {
+                proc,
+                message: format!("unaligned access at {addr}"),
+            });
+        }
+        let mut cost = self.model.access(self.now, proc, addr, &self.amap, kind)?;
+        // Injected adversity on network-touching transactions. The retry
+        // re-pays the whole transaction (a NACKed requester re-arbitrates
+        // from scratch); the delay models slow links. Both are charged to
+        // contention — time spent waiting on the network, not using it.
+        if cost.buckets.msgs > 0 {
+            if let Some(inj) = &mut self.injector {
+                let duration = cost.finish - self.now;
+                for _ in 0..inj.coherence_retries() {
+                    cost.finish += duration;
+                    cost.buckets.contention += duration;
+                }
+                if let Some(delay) = inj.message_delay() {
+                    cost.finish += delay;
+                    cost.buckets.contention += delay;
+                }
+            }
+        }
         self.stats[proc].buckets.add(&cost.buckets);
         if let Some(label) = self.amap.label_of(addr) {
             self.region_traffic
@@ -353,7 +486,7 @@ impl Engine {
                 .or_default()
                 .add(&cost.buckets);
         }
-        cost.finish
+        Ok(cost.finish)
     }
 
     fn commit(&mut self, proc: usize, action: Action) -> Result<(), RunError> {
@@ -443,7 +576,17 @@ impl Engine {
     fn resume(&mut self, proc: usize, resp: MemResp) -> Result<(), RunError> {
         match self.pool.resume(proc, resp) {
             Step::Request(req) => {
-                self.events.push(self.now, Ev::Dispatch(proc, req));
+                // Injected stall window: the node pauses (an OS interrupt,
+                // a slow board) before its next operation dispatches. The
+                // wait is charged as synchronization-like idle time.
+                let mut at = self.now;
+                if let Some(inj) = &mut self.injector {
+                    if let Some(stall) = inj.stall() {
+                        self.stats[proc].buckets.sync += stall;
+                        at += stall;
+                    }
+                }
+                self.events.push(at, Ev::Dispatch(proc, req));
                 Ok(())
             }
             Step::Done => {

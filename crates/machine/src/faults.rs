@@ -1,0 +1,298 @@
+//! Deterministic fault injection and run budgets.
+//!
+//! A [`FaultPlan`] describes *adversity* to inject into a simulation:
+//! message delays and duplications on the network path, per-node stall
+//! windows (a node that briefly stops dispatching, as if its OS took an
+//! interrupt), and forced coherence-controller retries (a directory that
+//! NACKs and makes the requester re-arbitrate). All decisions are drawn
+//! from one in-tree [`SplitMix64`] stream seeded by the plan, and the
+//! engine processes events in a deterministic order, so a given
+//! `(experiment, plan)` pair always injects the *same* faults at the same
+//! points — failures reproduce bit-identically.
+//!
+//! A [`RunBudget`] bounds a run in simulated time and/or event count so
+//! that livelock (e.g. a polling spin loop whose flag never flips) becomes
+//! a typed [`crate::RunError::BudgetExceeded`] instead of an endless loop.
+
+use spasm_desim::SimTime;
+use spasm_prng::{Rng, SplitMix64};
+
+/// Upper bounds on a single simulation run.
+///
+/// `None` means unlimited. The engine checks the budget each time it pops
+/// an event; exceeding either bound aborts the run with
+/// [`crate::RunError::BudgetExceeded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Maximum number of simulator events to process.
+    pub max_events: Option<u64>,
+    /// Maximum simulated time to reach.
+    pub max_sim_time: Option<SimTime>,
+}
+
+impl RunBudget {
+    /// No bounds: the run may take as long as it needs.
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_events: None,
+        max_sim_time: None,
+    };
+
+    /// A budget bounded by event count only.
+    pub fn events(max: u64) -> Self {
+        RunBudget {
+            max_events: Some(max),
+            max_sim_time: None,
+        }
+    }
+
+    /// A budget bounded by simulated time only.
+    pub fn sim_time(max: SimTime) -> Self {
+        RunBudget {
+            max_events: None,
+            max_sim_time: Some(max),
+        }
+    }
+
+    /// Whether either bound is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_events.is_some() || self.max_sim_time.is_some()
+    }
+}
+
+/// A deterministic, seeded plan of faults to inject into a run.
+///
+/// Probabilities are in `[0, 1]`; a plan with all probabilities zero
+/// injects nothing (see [`FaultPlan::is_active`]). Magnitudes are in
+/// nanoseconds of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault decision stream. Two runs with the same seed
+    /// (and the same workload) inject identical faults.
+    pub seed: u64,
+    /// Probability that a network message is delayed in flight.
+    pub delay_prob: f64,
+    /// Maximum extra in-flight delay, drawn uniformly from `[1, max]` ns.
+    pub max_delay_ns: u64,
+    /// Probability that an explicit message is duplicated (the copy
+    /// arrives after the original; receivers must tolerate it).
+    pub dup_prob: f64,
+    /// Probability that a processor stalls before its next operation.
+    pub stall_prob: f64,
+    /// Stall window length in nanoseconds.
+    pub stall_ns: u64,
+    /// Probability that a coherence/memory transaction is NACKed and
+    /// retried (each retry re-pays the transaction's network time).
+    pub retry_prob: f64,
+    /// Maximum forced retries per transaction.
+    pub max_retries: u32,
+}
+
+impl FaultPlan {
+    /// A quiet plan: seeded but injecting nothing. Useful as a base for
+    /// struct-update syntax.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.0,
+            max_delay_ns: 0,
+            dup_prob: 0.0,
+            stall_prob: 0.0,
+            stall_ns: 0,
+            retry_prob: 0.0,
+            max_retries: 0,
+        }
+    }
+
+    /// An adversarial plan exercising every fault class at once: 10%
+    /// message delay (up to 2 µs), 5% duplication, 2% stalls of 5 µs, and
+    /// 10% single retries.
+    pub fn adversarial(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_prob: 0.10,
+            max_delay_ns: 2_000,
+            dup_prob: 0.05,
+            stall_prob: 0.02,
+            stall_ns: 5_000,
+            retry_prob: 0.10,
+            max_retries: 1,
+        }
+    }
+
+    /// The same plan under a different seed, for retry-with-reseed: the
+    /// salt is mixed in so successive attempts draw fresh decisions.
+    pub fn reseeded(&self, salt: u64) -> Self {
+        let mut s = self.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(salt.wrapping_add(1));
+        // One splitmix step decorrelates neighbouring salts.
+        let seed = spasm_prng::splitmix64(&mut s);
+        FaultPlan { seed, ..*self }
+    }
+
+    /// Whether any fault class has a non-zero probability.
+    pub fn is_active(&self) -> bool {
+        self.delay_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.stall_prob > 0.0
+            || self.retry_prob > 0.0
+    }
+}
+
+/// Counts of faults actually injected during a run (for reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages delayed in flight.
+    pub delayed: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Processor stall windows inserted.
+    pub stalls: u64,
+    /// Coherence/memory transactions forced to retry.
+    pub retries: u64,
+}
+
+impl FaultCounters {
+    /// Total faults of all classes.
+    pub fn total(&self) -> u64 {
+        self.delayed + self.duplicated + self.stalls + self.retries
+    }
+}
+
+/// The engine-side fault roller: owns the decision stream and counters.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    pub(crate) counters: FaultCounters,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    fn roll(&mut self, prob: f64) -> bool {
+        prob > 0.0 && self.rng.gen_f64() < prob
+    }
+
+    /// Extra in-flight delay for a network message, if one is injected.
+    pub(crate) fn message_delay(&mut self) -> Option<SimTime> {
+        if self.roll(self.plan.delay_prob) && self.plan.max_delay_ns > 0 {
+            self.counters.delayed += 1;
+            let ns = 1 + self.rng.gen_u64_below(self.plan.max_delay_ns);
+            Some(SimTime::from_ns(ns))
+        } else {
+            None
+        }
+    }
+
+    /// Whether to duplicate an explicit message delivery.
+    pub(crate) fn duplicate(&mut self) -> bool {
+        let dup = self.roll(self.plan.dup_prob);
+        if dup {
+            self.counters.duplicated += 1;
+        }
+        dup
+    }
+
+    /// Stall window to insert before a processor's next operation.
+    pub(crate) fn stall(&mut self) -> Option<SimTime> {
+        if self.roll(self.plan.stall_prob) && self.plan.stall_ns > 0 {
+            self.counters.stalls += 1;
+            Some(SimTime::from_ns(self.plan.stall_ns))
+        } else {
+            None
+        }
+    }
+
+    /// Number of forced retries for a network-touching transaction.
+    pub(crate) fn coherence_retries(&mut self) -> u32 {
+        if self.plan.max_retries == 0 || !self.roll(self.plan.retry_prob) {
+            return 0;
+        }
+        let n = 1 + (self.rng.gen_u64_below(u64::from(self.plan.max_retries)) as u32);
+        self.counters.retries += u64::from(n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::quiet(7));
+        for _ in 0..1000 {
+            assert!(inj.message_delay().is_none());
+            assert!(!inj.duplicate());
+            assert!(inj.stall().is_none());
+            assert_eq!(inj.coherence_retries(), 0);
+        }
+        assert_eq!(inj.counters.total(), 0);
+        assert!(!FaultPlan::quiet(7).is_active());
+    }
+
+    #[test]
+    fn adversarial_plan_injects_every_class() {
+        let mut inj = FaultInjector::new(FaultPlan::adversarial(42));
+        for _ in 0..10_000 {
+            inj.message_delay();
+            inj.duplicate();
+            inj.stall();
+            inj.coherence_retries();
+        }
+        let c = inj.counters;
+        assert!(c.delayed > 0, "no delays in 10k rolls");
+        assert!(c.duplicated > 0, "no dups in 10k rolls");
+        assert!(c.stalls > 0, "no stalls in 10k rolls");
+        assert!(c.retries > 0, "no retries in 10k rolls");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let decisions = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::adversarial(seed));
+            (0..256)
+                .map(|_| (inj.message_delay(), inj.duplicate(), inj.stall()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(9), decisions(9));
+        assert_ne!(decisions(9), decisions(10));
+    }
+
+    #[test]
+    fn reseeded_changes_the_stream_deterministically() {
+        let plan = FaultPlan::adversarial(1);
+        assert_ne!(plan.reseeded(0).seed, plan.seed);
+        assert_ne!(plan.reseeded(0).seed, plan.reseeded(1).seed);
+        assert_eq!(plan.reseeded(3), plan.reseeded(3));
+        // Only the seed changes; the knobs survive.
+        assert_eq!(plan.reseeded(5).delay_prob, plan.delay_prob);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_positive() {
+        let plan = FaultPlan {
+            delay_prob: 1.0,
+            max_delay_ns: 10,
+            ..FaultPlan::quiet(3)
+        };
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..1000 {
+            let d = inj.message_delay().unwrap();
+            assert!(d >= SimTime::from_ns(1) && d <= SimTime::from_ns(10));
+        }
+    }
+
+    #[test]
+    fn budget_constructors() {
+        assert!(!RunBudget::UNLIMITED.is_bounded());
+        assert!(RunBudget::events(10).is_bounded());
+        assert!(RunBudget::sim_time(SimTime::from_us(5)).is_bounded());
+        assert_eq!(RunBudget::default(), RunBudget::UNLIMITED);
+    }
+}

@@ -63,6 +63,7 @@
 
 mod addr;
 mod engine;
+mod faults;
 mod models;
 mod ops;
 mod report;
@@ -71,8 +72,9 @@ mod stats;
 mod store;
 pub mod sync;
 
-pub use addr::{Addr, AddressMap, BLOCK_BYTES, WORD_BYTES};
+pub use addr::{Addr, AddressMap, UnallocatedAddress, BLOCK_BYTES, WORD_BYTES};
 pub use engine::{Engine, ProcBody, RunError, RunReport};
+pub use faults::{FaultCounters, FaultPlan, RunBudget};
 pub use models::{MachineConfig, MachineKind, Model};
 pub use ops::{MemCtx, MemReq, MemResp, Pred, RmwOp};
 pub use setup::SetupCtx;

@@ -4,6 +4,7 @@ use spasm_cache::{AccessKind, CoherenceController, Outcome};
 use spasm_desim::SimTime;
 use spasm_topology::Topology;
 
+use crate::engine::RunError;
 use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CYCLE_NS, MEM_NS};
 
 use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
@@ -43,6 +44,11 @@ impl CLogPModel {
     }
 
     /// Prices one access.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnallocatedAddress`] for an address no allocation
+    /// covers.
     pub fn access(
         &mut self,
         at: SimTime,
@@ -50,7 +56,7 @@ impl CLogPModel {
         addr: Addr,
         amap: &AddressMap,
         kind: AccessKind,
-    ) -> Cost {
+    ) -> Result<Cost, RunError> {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(CYCLE_NS);
         let finish = match self.coherence.access(proc, addr.block(), kind) {
@@ -62,7 +68,7 @@ impl CLogPModel {
             }
             Outcome::Miss { writeback, .. } => {
                 // True data movement: fetch the block.
-                let home = amap.home_of(addr);
+                let home = amap.home_of(addr)?;
                 let finish = if home == proc {
                     buckets.mem += SimTime::from_ns(MEM_NS);
                     at + SimTime::from_ns(MEM_NS)
@@ -71,13 +77,13 @@ impl CLogPModel {
                 };
                 // An owned victim is written back (fire and forget).
                 if let Some(wb) = writeback {
-                    let wb_home = amap.home_of(Addr(wb.block * BLOCK_BYTES));
+                    let wb_home = amap.home_of(Addr(wb.block * BLOCK_BYTES))?;
                     self.net.message(at, proc, wb_home, &mut buckets);
                 }
                 finish
             }
         };
-        Cost { finish, buckets }
+        Ok(Cost { finish, buckets })
     }
 
     /// The derived LogP parameters in force.
@@ -127,9 +133,13 @@ mod tests {
     fn first_remote_read_pays_then_hits() {
         let (mut m, amap) = setup();
         let remote = Addr(512); // homed at 1
-        let c1 = m.access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read);
+        let c1 = m
+            .access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(c1.buckets.msgs, 2);
-        let c2 = m.access(c1.finish, 0, remote, &amap, AccessKind::Read);
+        let c2 = m
+            .access(c1.finish, 0, remote, &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(c2.buckets.msgs, 0);
         assert_eq!(c2.finish, c1.finish + SimTime::from_ns(CYCLE_NS));
     }
@@ -143,7 +153,9 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut msgs = 0;
         for w in 0..4 {
-            let c = m.access(t, 0, base.offset_words(w), &amap, AccessKind::Read);
+            let c = m
+                .access(t, 0, base.offset_words(w), &amap, AccessKind::Read)
+                .unwrap();
             msgs += c.buckets.msgs;
             t = c.finish;
         }
@@ -157,11 +169,17 @@ mod tests {
         // processor's next read misses on both machines.
         let (mut m, amap) = setup();
         let a = Addr(512); // homed at node 1; procs 0 and 2 are remote
-        m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read);
-        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
-        let w = m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Write);
+        m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read)
+            .unwrap();
+        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read)
+            .unwrap();
+        let w = m
+            .access(SimTime::ZERO, 0, a, &amap, AccessKind::Write)
+            .unwrap();
         assert_eq!(w.buckets.msgs, 0, "upgrade must be free");
-        let r = m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
+        let r = m
+            .access(SimTime::ZERO, 2, a, &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(r.buckets.msgs, 2, "re-read is a true communication");
     }
 
@@ -169,7 +187,9 @@ mod tests {
     fn local_miss_costs_memory_not_network() {
         let (mut m, amap) = setup();
         let local = Addr(0);
-        let c = m.access(SimTime::ZERO, 0, local, &amap, AccessKind::Read);
+        let c = m
+            .access(SimTime::ZERO, 0, local, &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(c.buckets.msgs, 0);
         assert_eq!(c.finish, SimTime::from_ns(MEM_NS));
     }
@@ -189,11 +209,17 @@ mod tests {
         };
         let mut m = CLogPModel::new(&topo, config);
         // Node 1 dirties block 0, then reads blocks 1 and 2 evicting it.
-        let w = m.access(SimTime::ZERO, 1, Addr(0), &amap, AccessKind::Write);
+        let w = m
+            .access(SimTime::ZERO, 1, Addr(0), &amap, AccessKind::Write)
+            .unwrap();
         assert_eq!(w.buckets.msgs, 2);
-        let r1 = m.access(w.finish, 1, Addr(32), &amap, AccessKind::Read);
+        let r1 = m
+            .access(w.finish, 1, Addr(32), &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(r1.buckets.msgs, 2);
-        let r2 = m.access(r1.finish, 1, Addr(64), &amap, AccessKind::Read);
+        let r2 = m
+            .access(r1.finish, 1, Addr(64), &amap, AccessKind::Read)
+            .unwrap();
         // fetch round trip (2) + writeback of dirty block 0 (1)
         assert_eq!(r2.buckets.msgs, 3);
     }

@@ -3,6 +3,7 @@
 use spasm_desim::SimTime;
 use spasm_topology::Topology;
 
+use crate::engine::RunError;
 use crate::{Addr, AddressMap, Buckets, MEM_NS};
 
 use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
@@ -32,16 +33,27 @@ impl LogPModel {
     }
 
     /// Prices one access (kind-independent on this machine).
-    pub fn access(&mut self, at: SimTime, proc: usize, addr: Addr, amap: &AddressMap) -> Cost {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnallocatedAddress`] for an address no allocation
+    /// covers.
+    pub fn access(
+        &mut self,
+        at: SimTime,
+        proc: usize,
+        addr: Addr,
+        amap: &AddressMap,
+    ) -> Result<Cost, RunError> {
         let mut buckets = Buckets::default();
-        let home = amap.home_of(addr);
+        let home = amap.home_of(addr)?;
         let finish = if home == proc {
             buckets.mem += SimTime::from_ns(MEM_NS);
             at + SimTime::from_ns(MEM_NS)
         } else {
             self.net.round_trip(at, proc, home, &mut buckets)
         };
-        Cost { finish, buckets }
+        Ok(Cost { finish, buckets })
     }
 
     /// The derived LogP parameters in force.
@@ -84,7 +96,7 @@ mod tests {
     fn local_access_costs_memory_time() {
         let (mut m, amap) = setup();
         let local = Addr(0); // homed at 0
-        let c = m.access(SimTime::ZERO, 0, local, &amap);
+        let c = m.access(SimTime::ZERO, 0, local, &amap).unwrap();
         assert_eq!(c.finish, SimTime::from_ns(300));
         assert_eq!(c.buckets.msgs, 0);
     }
@@ -93,7 +105,7 @@ mod tests {
     fn remote_access_is_a_round_trip() {
         let (mut m, amap) = setup();
         let remote = Addr(128); // homed at 1
-        let c = m.access(SimTime::ZERO, 0, remote, &amap);
+        let c = m.access(SimTime::ZERO, 0, remote, &amap).unwrap();
         assert_eq!(c.buckets.msgs, 2);
         assert_eq!(c.buckets.latency, SimTime::from_ns(3200));
         assert!(c.finish >= SimTime::from_ns(3200));
@@ -105,8 +117,8 @@ mod tests {
         // of what CLogP fixes.
         let (mut m, amap) = setup();
         let remote = Addr(128);
-        let c1 = m.access(SimTime::ZERO, 0, remote, &amap);
-        let c2 = m.access(c1.finish, 0, remote, &amap);
+        let c1 = m.access(SimTime::ZERO, 0, remote, &amap).unwrap();
+        let c2 = m.access(c1.finish, 0, remote, &amap).unwrap();
         assert_eq!(c2.buckets.msgs, 2);
         assert!(c2.finish > c1.finish);
     }

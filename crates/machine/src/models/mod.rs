@@ -13,6 +13,8 @@ use spasm_desim::SimTime;
 use spasm_logp::GapPolicy;
 use spasm_topology::Topology;
 
+use crate::engine::RunError;
+use crate::faults::{FaultPlan, RunBudget};
 use crate::{Addr, AddressMap, Buckets};
 
 pub use clogp::CLogPModel;
@@ -61,6 +63,11 @@ pub struct MachineConfig {
     /// always runs Berkeley state transitions — the abstraction under
     /// study). Ablation for the Wood et al. protocol-insensitivity claim.
     pub protocol: ProtocolKind,
+    /// Deterministic fault plan to run under, if any. `None` (the
+    /// default) simulates a fault-free machine.
+    pub faults: Option<FaultPlan>,
+    /// Bounds on the run (events / simulated time). Unlimited by default.
+    pub budget: RunBudget,
 }
 
 impl Default for MachineConfig {
@@ -70,6 +77,8 @@ impl Default for MachineConfig {
             gap_policy: GapPolicy::Unified,
             g_scale: 1.0,
             protocol: ProtocolKind::Berkeley,
+            faults: None,
+            budget: RunBudget::UNLIMITED,
         }
     }
 }
@@ -173,6 +182,12 @@ impl Model {
     }
 
     /// Prices one access of `kind` by `proc` to `addr` starting at `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnallocatedAddress`] when `addr` lies outside every
+    /// allocation; [`RunError::Route`] if the target network cannot route
+    /// the access's messages.
     pub fn access(
         &mut self,
         at: SimTime,
@@ -180,9 +195,9 @@ impl Model {
         addr: Addr,
         amap: &AddressMap,
         kind: AccessKind,
-    ) -> Cost {
+    ) -> Result<Cost, RunError> {
         match self {
-            Model::Pram(m) => m.access(at),
+            Model::Pram(m) => Ok(m.access(at)),
             Model::Target(m) => m.access(at, proc, addr, amap, kind),
             Model::LogP(m) => m.access(at, proc, addr, amap),
             Model::CLogP(m) => m.access(at, proc, addr, amap, kind),
@@ -191,10 +206,21 @@ impl Model {
 
     /// Prices one explicit message from `src` to `dst` of `bytes` bytes
     /// injected at `at`.
-    pub fn msg_send(&mut self, at: SimTime, src: usize, dst: usize, bytes: u64) -> MsgCost {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Route`] if the target network cannot route the message
+    /// (the abstracted networks never fail here).
+    pub fn msg_send(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<MsgCost, RunError> {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(crate::CYCLE_NS);
-        match self {
+        Ok(match self {
             Model::Pram(_) => MsgCost {
                 sender_free: at + cycle,
                 delivered: at + cycle,
@@ -203,7 +229,7 @@ impl Model {
                     buckets
                 },
             },
-            Model::Target(m) => m.msg_send(at, src, dst, bytes),
+            Model::Target(m) => m.msg_send(at, src, dst, bytes)?,
             Model::LogP(m) => {
                 let (slot, delivered) = m.net_mut().message_timed(at, src, dst, &mut buckets);
                 MsgCost {
@@ -220,7 +246,7 @@ impl Model {
                     buckets,
                 }
             }
-        }
+        })
     }
 
     /// Whether `WaitUntil` must poll (re-issue reads) rather than idle

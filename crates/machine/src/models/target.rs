@@ -5,8 +5,9 @@ use std::collections::HashMap;
 use spasm_cache::{AccessKind, CacheConfig, CoherenceController, Outcome, ProtocolKind, Supplier};
 use spasm_desim::{Facility, SimTime};
 use spasm_net::{Delivery, Network};
-use spasm_topology::{NodeId, Topology};
+use spasm_topology::{NodeId, Topology, TopologyError};
 
+use crate::engine::RunError;
 use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CTRL_BYTES, CYCLE_NS, DATA_BYTES, MEM_NS};
 
 use super::{Cost, ModelSummary};
@@ -67,15 +68,15 @@ impl TargetModel {
         dst: usize,
         bytes: u64,
         buckets: &mut Buckets,
-    ) -> Delivery {
-        let d = self.net.send(at, NodeId(src), NodeId(dst), bytes);
+    ) -> Result<Delivery, TopologyError> {
+        let d = self.net.try_send(at, NodeId(src), NodeId(dst), bytes)?;
         if src != dst {
             buckets.latency += d.latency;
             buckets.contention += d.contention;
             buckets.msgs += 1;
             buckets.bytes += bytes;
         }
-        d
+        Ok(d)
     }
 
     /// Serializes transactions per block at the home directory.
@@ -97,18 +98,23 @@ impl TargetModel {
         home: usize,
         victims: &[usize],
         buckets: &mut Buckets,
-    ) -> SimTime {
+    ) -> Result<SimTime, TopologyError> {
         let cycle = SimTime::from_ns(CYCLE_NS);
         let mut all_acked = t0;
         for &s in victims {
-            let inv = self.send(t0, home, s, CTRL_BYTES, buckets);
-            let ack = self.send(inv.arrive + cycle, s, home, CTRL_BYTES, buckets);
+            let inv = self.send(t0, home, s, CTRL_BYTES, buckets)?;
+            let ack = self.send(inv.arrive + cycle, s, home, CTRL_BYTES, buckets)?;
             all_acked = all_acked.max(ack.arrive);
         }
-        all_acked
+        Ok(all_acked)
     }
 
     /// Prices one access.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::UnallocatedAddress`] for an address no allocation
+    /// covers; [`RunError::Route`] if the network cannot route a message.
     pub fn access(
         &mut self,
         at: SimTime,
@@ -116,11 +122,11 @@ impl TargetModel {
         addr: Addr,
         amap: &AddressMap,
         kind: AccessKind,
-    ) -> Cost {
+    ) -> Result<Cost, RunError> {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(CYCLE_NS);
         let block = addr.block();
-        let home = amap.home_of(addr);
+        let home = amap.home_of(addr)?;
 
         let outcome = self.coherence.access(proc, block, kind);
         let finish = match outcome {
@@ -129,10 +135,10 @@ impl TargetModel {
                 at + cycle
             }
             Outcome::UpgradeHit { invalidated } => {
-                let req = self.send(at, proc, home, CTRL_BYTES, &mut buckets);
+                let req = self.send(at, proc, home, CTRL_BYTES, &mut buckets)?;
                 let t0 = self.block_start(block, req.arrive, &mut buckets);
-                let all_acked = self.invalidate(t0, home, &invalidated, &mut buckets);
-                let grant = self.send(all_acked, home, proc, CTRL_BYTES, &mut buckets);
+                let all_acked = self.invalidate(t0, home, &invalidated, &mut buckets)?;
+                let grant = self.send(all_acked, home, proc, CTRL_BYTES, &mut buckets)?;
                 let finish = grant.arrive.max(at + cycle);
                 self.block_free.insert(block, finish);
                 finish
@@ -143,7 +149,7 @@ impl TargetModel {
                 writeback,
                 downgrade_writeback,
             } => {
-                let req = self.send(at, proc, home, CTRL_BYTES, &mut buckets);
+                let req = self.send(at, proc, home, CTRL_BYTES, &mut buckets)?;
                 let t0 = self.block_start(block, req.arrive, &mut buckets);
 
                 // Data path.
@@ -152,12 +158,12 @@ impl TargetModel {
                         let grant = self.memory[home].reserve(t0, SimTime::from_ns(MEM_NS));
                         buckets.mem += SimTime::from_ns(MEM_NS);
                         buckets.dir_wait += grant.waited;
-                        self.send(grant.end, home, proc, DATA_BYTES, &mut buckets)
+                        self.send(grant.end, home, proc, DATA_BYTES, &mut buckets)?
                             .arrive
                     }
                     Supplier::Owner(owner) => {
-                        let fwd = self.send(t0, home, owner, CTRL_BYTES, &mut buckets);
-                        self.send(fwd.arrive + cycle, owner, proc, DATA_BYTES, &mut buckets)
+                        let fwd = self.send(t0, home, owner, CTRL_BYTES, &mut buckets)?;
+                        self.send(fwd.arrive + cycle, owner, proc, DATA_BYTES, &mut buckets)?
                             .arrive
                     }
                 };
@@ -165,8 +171,8 @@ impl TargetModel {
                 // Invalidation path (write misses with extant copies).
                 let mut finish = data_arrive;
                 if !invalidated.is_empty() {
-                    let all_acked = self.invalidate(t0, home, &invalidated, &mut buckets);
-                    let grant = self.send(all_acked, home, proc, CTRL_BYTES, &mut buckets);
+                    let all_acked = self.invalidate(t0, home, &invalidated, &mut buckets)?;
+                    let grant = self.send(all_acked, home, proc, CTRL_BYTES, &mut buckets)?;
                     finish = finish.max(grant.arrive);
                 }
                 let finish = finish.max(at + cycle);
@@ -174,34 +180,44 @@ impl TargetModel {
 
                 // Writeback of an owned victim: fire and forget.
                 if let Some(wb) = writeback {
-                    let wb_home = amap.home_of(Addr(wb.block * BLOCK_BYTES));
-                    let w = self.send(at, proc, wb_home, DATA_BYTES, &mut buckets);
+                    let wb_home = amap.home_of(Addr(wb.block * BLOCK_BYTES))?;
+                    let w = self.send(at, proc, wb_home, DATA_BYTES, &mut buckets)?;
                     self.memory[wb_home].reserve(w.arrive, SimTime::from_ns(MEM_NS));
                 }
                 // WriteBackOnRead: the supplying owner also writes the
                 // block back to its home (fire and forget).
                 if let Some(wb) = downgrade_writeback {
-                    let w = self.send(t0, wb.from, home, DATA_BYTES, &mut buckets);
+                    let w = self.send(t0, wb.from, home, DATA_BYTES, &mut buckets)?;
                     self.memory[home].reserve(w.arrive, SimTime::from_ns(MEM_NS));
                 }
                 finish
             }
         };
-        Cost { finish, buckets }
+        Ok(Cost { finish, buckets })
     }
 
     /// Prices one explicit message: a single circuit-switched transfer.
     /// The sender drives its network interface for the whole transmission
     /// (circuit switching), so it is free only at arrival time.
-    pub fn msg_send(&mut self, at: SimTime, src: usize, dst: usize, bytes: u64) -> super::MsgCost {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Route`] if the network cannot route the message.
+    pub fn msg_send(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> Result<super::MsgCost, RunError> {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(CYCLE_NS);
-        let d = self.send(at, src, dst, bytes, &mut buckets);
-        super::MsgCost {
+        let d = self.send(at, src, dst, bytes, &mut buckets)?;
+        Ok(super::MsgCost {
             sender_free: d.arrive.max(at + cycle),
             delivered: d.arrive.max(at + cycle),
             buckets,
-        }
+        })
     }
 
     /// Run-report counters.
@@ -244,7 +260,9 @@ mod tests {
     fn read_miss_from_memory_costs_req_mem_data() {
         let (mut m, amap) = setup(2);
         let remote = Addr(512); // homed at 1
-        let c = m.access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read);
+        let c = m
+            .access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read)
+            .unwrap();
         // 8B request (400ns) + 300ns memory + 32B data (1600ns) = 2300ns.
         assert_eq!(c.finish, SimTime::from_ns(2300));
         assert_eq!(c.buckets.msgs, 2);
@@ -256,8 +274,12 @@ mod tests {
     fn hit_costs_one_cycle() {
         let (mut m, amap) = setup(2);
         let remote = Addr(512);
-        let c1 = m.access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read);
-        let c2 = m.access(c1.finish, 0, remote, &amap, AccessKind::Read);
+        let c1 = m
+            .access(SimTime::ZERO, 0, remote, &amap, AccessKind::Read)
+            .unwrap();
+        let c2 = m
+            .access(c1.finish, 0, remote, &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(c2.finish, c1.finish + SimTime::from_ns(CYCLE_NS));
         assert_eq!(c2.buckets.msgs, 0);
     }
@@ -265,7 +287,9 @@ mod tests {
     #[test]
     fn local_cold_miss_costs_memory_only() {
         let (mut m, amap) = setup(2);
-        let c = m.access(SimTime::ZERO, 0, Addr(0), &amap, AccessKind::Read);
+        let c = m
+            .access(SimTime::ZERO, 0, Addr(0), &amap, AccessKind::Read)
+            .unwrap();
         // Request and data are zero-hop; only the 300ns module access.
         assert_eq!(c.finish, SimTime::from_ns(300));
         assert_eq!(c.buckets.msgs, 0);
@@ -275,10 +299,15 @@ mod tests {
     fn upgrade_pays_invalidation_round_trips() {
         let (mut m, amap) = setup(4);
         let a = Addr(512); // homed at 1
-        m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read);
-        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
-        m.access(SimTime::ZERO, 3, a, &amap, AccessKind::Read);
-        let w = m.access(SimTime::from_us(100), 0, a, &amap, AccessKind::Write);
+        m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read)
+            .unwrap();
+        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read)
+            .unwrap();
+        m.access(SimTime::ZERO, 3, a, &amap, AccessKind::Read)
+            .unwrap();
+        let w = m
+            .access(SimTime::from_us(100), 0, a, &amap, AccessKind::Write)
+            .unwrap();
         // req + 2 invals + 2 acks + grant = 6 control messages.
         assert_eq!(w.buckets.msgs, 6);
         // req(400) -> inval(400) -> +cycle ack(400) -> grant(400) ≈ 1630ns
@@ -290,8 +319,11 @@ mod tests {
         let (mut m, amap) = setup(4);
         let a = Addr(512); // homed at 1
                            // Node 2 writes (miss, becomes owner), then node 3 reads.
-        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Write);
-        let r = m.access(SimTime::from_us(100), 3, a, &amap, AccessKind::Read);
+        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Write)
+            .unwrap();
+        let r = m
+            .access(SimTime::from_us(100), 3, a, &amap, AccessKind::Read)
+            .unwrap();
         // req(3->1) + fwd(1->2) + data(2->3): 400+400+1600 (+cycle).
         assert_eq!(r.buckets.msgs, 3);
         assert_eq!(r.buckets.bytes, 8 + 8 + 32);
@@ -301,9 +333,13 @@ mod tests {
     fn same_block_transactions_serialize_at_home() {
         let (mut m, amap) = setup(4);
         let a = Addr(512);
-        let c1 = m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read);
+        let c1 = m
+            .access(SimTime::ZERO, 0, a, &amap, AccessKind::Read)
+            .unwrap();
         // Overlapping read of the same block from another node waits.
-        let c2 = m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
+        let c2 = m
+            .access(SimTime::ZERO, 2, a, &amap, AccessKind::Read)
+            .unwrap();
         assert!(c2.buckets.dir_wait > SimTime::ZERO);
         assert!(c2.finish > c1.finish);
     }
@@ -312,9 +348,13 @@ mod tests {
     fn write_miss_completion_covers_data_and_grant() {
         let (mut m, amap) = setup(4);
         let a = Addr(512);
-        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read);
-        m.access(SimTime::ZERO, 3, a, &amap, AccessKind::Read);
-        let w = m.access(SimTime::from_us(100), 0, a, &amap, AccessKind::Write);
+        m.access(SimTime::ZERO, 2, a, &amap, AccessKind::Read)
+            .unwrap();
+        m.access(SimTime::ZERO, 3, a, &amap, AccessKind::Read)
+            .unwrap();
+        let w = m
+            .access(SimTime::from_us(100), 0, a, &amap, AccessKind::Write)
+            .unwrap();
         // req + data(from mem) + 2 invals + 2 acks + grant = 7 messages.
         assert_eq!(w.buckets.msgs, 7);
     }
@@ -331,10 +371,16 @@ mod tests {
                 block_bytes: 32,
             },
         );
-        let w = m.access(SimTime::ZERO, 1, Addr(0), &amap, AccessKind::Write);
-        let r1 = m.access(w.finish, 1, Addr(32), &amap, AccessKind::Read);
+        let w = m
+            .access(SimTime::ZERO, 1, Addr(0), &amap, AccessKind::Write)
+            .unwrap();
+        let r1 = m
+            .access(w.finish, 1, Addr(32), &amap, AccessKind::Read)
+            .unwrap();
         // Third access evicts the dirty block 0 -> 32B writeback message.
-        let r2 = m.access(r1.finish, 1, Addr(64), &amap, AccessKind::Read);
+        let r2 = m
+            .access(r1.finish, 1, Addr(64), &amap, AccessKind::Read)
+            .unwrap();
         assert_eq!(r2.buckets.msgs, 3); // req + data + writeback
         assert_eq!(r2.buckets.bytes, 8 + 32 + 32);
         // Completion = req + mem + data; the writeback does not extend it.
@@ -347,7 +393,9 @@ mod tests {
         // pessimistic (paper §6.1).
         let (mut m, amap) = setup(2);
         let a = Addr(512);
-        let r = m.access(SimTime::ZERO, 0, a, &amap, AccessKind::Read);
+        let r = m
+            .access(SimTime::ZERO, 0, a, &amap, AccessKind::Read)
+            .unwrap();
         // 8B request costs 400ns, not 1600ns.
         assert_eq!(r.buckets.latency, SimTime::from_ns(400 + 1600));
     }

@@ -208,7 +208,6 @@ fn missing_sender_is_a_deadlock_not_a_hang() {
 }
 
 #[test]
-#[should_panic(expected = "outside 1..=32")]
 fn oversized_message_rejected() {
     let topo = Topology::full(2);
     let setup = SetupCtx::new(2);
@@ -220,6 +219,12 @@ fn oversized_message_rejected() {
             MemCtx::new(ctx).recv(1);
         }),
     ];
-    // The engine panics on the malformed request (simulator bug guard).
-    let _ = Engine::new(MachineKind::Target, &topo, setup, bodies).run();
+    // The malformed request is a typed error, not a process abort.
+    match Engine::new(MachineKind::Target, &topo, setup, bodies).run() {
+        Err(RunError::BadRequest { proc, message }) => {
+            assert_eq!(proc, 0);
+            assert!(message.contains("outside 1..=32"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
 }

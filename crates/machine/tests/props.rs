@@ -37,8 +37,11 @@ fn decode(tag: u32, a: u64, b: u64) -> Op {
     }
 }
 
+/// Undecoded per-processor op streams: `(tag, a, b)` triples.
+type RawStreams = Vec<Vec<(u32, u64, u64)>>;
+
 /// Per-processor raw programs plus a uniform trailing barrier count.
-fn raw_programs(p: usize) -> Gen<(Vec<Vec<(u32, u64, u64)>>, usize)> {
+fn raw_programs(p: usize) -> Gen<(RawStreams, usize)> {
     let op = gens::tuple3(gens::u32s(0..5), gens::u64s(0..1_000), gens::u64s(0..1_000));
     gens::tuple2(
         gens::vecs(gens::vecs(op, 0..25), p..p + 1),
@@ -46,7 +49,7 @@ fn raw_programs(p: usize) -> Gen<(Vec<Vec<(u32, u64, u64)>>, usize)> {
     )
 }
 
-fn programs_of(raw: &(Vec<Vec<(u32, u64, u64)>>, usize), p: usize) -> Vec<Vec<Op>> {
+fn programs_of(raw: &(RawStreams, usize), p: usize) -> Vec<Vec<Op>> {
     let (streams, barriers) = raw;
     let mut programs: Vec<Vec<Op>> = streams
         .iter()

@@ -46,7 +46,7 @@
 #![warn(missing_docs)]
 
 use spasm_desim::SimTime;
-use spasm_topology::{NodeId, Topology};
+use spasm_topology::{NodeId, Topology, TopologyError};
 
 /// Serial link transmission cost: 20 MBytes/sec → 50 ns per byte.
 pub const LINK_NS_PER_BYTE: u64 = 50;
@@ -139,18 +139,39 @@ impl Network {
     ///
     /// Panics if `bytes` is zero for a remote message (messages carry at
     /// least a header) or a node id is out of range.
+    /// [`Network::try_send`] is the fallible form.
     pub fn send(&mut self, at: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> Delivery {
+        assert!(bytes > 0, "remote message must carry at least one byte");
+        self.try_send(at, src, dst, bytes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Network::send`]: returns a typed
+    /// [`TopologyError`] for out-of-range node ids instead of panicking.
+    /// A zero-byte remote message is treated as a one-byte header.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NodeOutOfRange`] when an endpoint exceeds the
+    /// topology's node count.
+    pub fn try_send(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<Delivery, TopologyError> {
         if src == dst {
-            return Delivery {
+            return Ok(Delivery {
                 depart: at,
                 arrive: at,
                 latency: SimTime::ZERO,
                 contention: SimTime::ZERO,
                 hops: 0,
-            };
+            });
         }
-        assert!(bytes > 0, "remote message must carry at least one byte");
-        let path = self.topo.route(src, dst);
+        let bytes = bytes.max(1); // messages carry at least a header
+        let path = self.topo.try_route(src, dst)?;
         let transmission = SimTime::from_ns(bytes * LINK_NS_PER_BYTE);
 
         // Circuit establishment: all links simultaneously free.
@@ -174,13 +195,13 @@ impl Network {
             self.stats.bisection_crossings += 1;
         }
 
-        Delivery {
+        Ok(Delivery {
             depart,
             arrive,
             latency: transmission,
             contention,
             hops: path.len(),
-        }
+        })
     }
 
     /// Traffic statistics accumulated so far.
@@ -334,6 +355,17 @@ mod tests {
     #[should_panic(expected = "at least one byte")]
     fn zero_byte_remote_message_rejected() {
         Network::new(Topology::full(2)).send(SimTime::ZERO, NodeId(0), NodeId(1), 0);
+    }
+
+    #[test]
+    fn try_send_rejects_out_of_range_nodes() {
+        let mut net = Network::new(Topology::full(4));
+        let err = net
+            .try_send(SimTime::ZERO, NodeId(0), NodeId(4), 32)
+            .unwrap_err();
+        assert_eq!(err, TopologyError::NodeOutOfRange { node: 4, p: 4 });
+        // A failed send must leave the network state untouched.
+        assert_eq!(net.stats().messages, 0);
     }
 
     #[test]

@@ -64,8 +64,11 @@ pub type TestRng = StdRng;
 /// the property instead.
 pub struct Gen<T> {
     run: Rc<dyn Fn(&mut TestRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
+
+/// Shared shrinking function: proposes strictly smaller candidates.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
 
 impl<T> Clone for Gen<T> {
     fn clone(&self) -> Self {
@@ -215,7 +218,7 @@ pub mod gens {
                 if n > min {
                     for i in 0..n.min(8) {
                         let mut w = v.clone();
-                        w.remove(i * n / n.min(8).max(1));
+                        w.remove(i * n / n.clamp(1, 8));
                         out.push(w);
                     }
                 }

@@ -51,6 +51,77 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub usize);
 
+/// Why a topology could not be constructed or a route could not be
+/// produced.
+///
+/// The fallible constructors ([`Topology::try_of_kind`] and friends) and
+/// lookups ([`Topology::try_route`], [`LinkTable::pair_link`]) return these
+/// instead of panicking, so experiment drivers can surface a bad
+/// configuration as a typed error rather than aborting a whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The processor count was zero.
+    ZeroNodes,
+    /// The processor count was not a power of two (all three topologies in
+    /// the study restrict `p` to powers of two, matching the paper).
+    NotPowerOfTwo(usize),
+    /// The processor count exceeds the per-kind construction cap.
+    TooLarge {
+        /// The requested topology family.
+        kind: TopologyKind,
+        /// The requested processor count.
+        p: usize,
+        /// The maximum supported for this family.
+        max: usize,
+    },
+    /// A node id was outside `0..p`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The topology's processor count.
+        p: usize,
+    },
+    /// No direct link exists between a node pair expected to be adjacent.
+    MissingLink {
+        /// Source node id.
+        src: usize,
+        /// Destination node id.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroNodes => f.write_str("processor count must be positive"),
+            TopologyError::NotPowerOfTwo(p) => {
+                write!(f, "processor count must be a power of two (got {p})")
+            }
+            TopologyError::TooLarge { kind, p, max } => {
+                write!(
+                    f,
+                    "processor count {p} exceeds the {kind} network's maximum {max}"
+                )
+            }
+            TopologyError::NodeOutOfRange { node, p } => {
+                write!(f, "node n{node} out of range (p = {p})")
+            }
+            TopologyError::MissingLink { src, dst } => {
+                write!(f, "no link n{src}->n{dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Construction cap for the fully connected network: its link table is
+/// `p * (p - 1)` entries, so quadratic growth is bounded here.
+pub const MAX_FULL_NODES: usize = 1 << 12;
+
+/// Construction cap for the hypercube and mesh networks.
+pub const MAX_NODES: usize = 1 << 16;
+
 /// Which of the paper's three interconnects a [`Topology`] instance is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
@@ -92,32 +163,54 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is zero or not a power of two.
+    /// Panics if `p` is zero, not a power of two, or oversized; see
+    /// [`Topology::try_of_kind`] for the fallible form.
     pub fn full(p: usize) -> Self {
-        validate_p(p);
-        Topology {
+        Topology::try_full(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Topology::full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when `p` is zero, not a power of two,
+    /// or exceeds [`MAX_FULL_NODES`].
+    pub fn try_full(p: usize) -> Result<Self, TopologyError> {
+        validate_p(TopologyKind::Full, p)?;
+        Ok(Topology {
             kind: TopologyKind::Full,
             p,
             rows: 0,
             cols: 0,
             links: LinkTable::full(p),
-        }
+        })
     }
 
     /// Creates a binary hypercube over `p` nodes.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is zero or not a power of two.
+    /// Panics if `p` is zero, not a power of two, or oversized; see
+    /// [`Topology::try_of_kind`] for the fallible form.
     pub fn hypercube(p: usize) -> Self {
-        validate_p(p);
-        Topology {
+        Topology::try_hypercube(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Topology::hypercube`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when `p` is zero, not a power of two,
+    /// or exceeds [`MAX_NODES`].
+    pub fn try_hypercube(p: usize) -> Result<Self, TopologyError> {
+        validate_p(TopologyKind::Hypercube, p)?;
+        Ok(Topology {
             kind: TopologyKind::Hypercube,
             p,
             rows: 0,
             cols: 0,
             links: LinkTable::hypercube(p),
-        }
+        })
     }
 
     /// Creates a 2-D mesh over `p` nodes.
@@ -127,25 +220,51 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is zero or not a power of two.
+    /// Panics if `p` is zero, not a power of two, or oversized; see
+    /// [`Topology::try_of_kind`] for the fallible form.
     pub fn mesh(p: usize) -> Self {
-        validate_p(p);
+        Topology::try_mesh(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Topology::mesh`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when `p` is zero, not a power of two,
+    /// or exceeds [`MAX_NODES`] (an oversized mesh).
+    pub fn try_mesh(p: usize) -> Result<Self, TopologyError> {
+        validate_p(TopologyKind::Mesh2D, p)?;
         let (rows, cols) = mesh_shape(p);
-        Topology {
+        Ok(Topology {
             kind: TopologyKind::Mesh2D,
             p,
             rows,
             cols,
             links: LinkTable::mesh(rows, cols),
-        }
+        })
     }
 
     /// Creates the topology of the given kind over `p` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `p`; see [`Topology::try_of_kind`].
     pub fn of_kind(kind: TopologyKind, p: usize) -> Self {
+        Topology::try_of_kind(kind, p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates the topology of the given kind over `p` nodes, returning a
+    /// typed error instead of panicking on an invalid processor count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] when `p` is zero, not a power of two,
+    /// or exceeds the family's construction cap.
+    pub fn try_of_kind(kind: TopologyKind, p: usize) -> Result<Self, TopologyError> {
         match kind {
-            TopologyKind::Full => Topology::full(p),
-            TopologyKind::Hypercube => Topology::hypercube(p),
-            TopologyKind::Mesh2D => Topology::mesh(p),
+            TopologyKind::Full => Topology::try_full(p),
+            TopologyKind::Hypercube => Topology::try_hypercube(p),
+            TopologyKind::Mesh2D => Topology::try_mesh(p),
         }
     }
 
@@ -182,14 +301,34 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if either node is out of range.
+    /// Panics if either node is out of range; [`Topology::try_route`] is
+    /// the fallible form.
     pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
-        assert!(src.0 < self.p && dst.0 < self.p, "node out of range");
+        self.try_route(src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Topology::route`]: a typed error instead of a
+    /// panic for out-of-range nodes or a broken link table.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NodeOutOfRange`] when an endpoint exceeds `p`;
+    /// [`TopologyError::MissingLink`] if the link table is inconsistent
+    /// (unreachable for the built-in constructors).
+    pub fn try_route(&self, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+        for node in [src, dst] {
+            if node.0 >= self.p {
+                return Err(TopologyError::NodeOutOfRange {
+                    node: node.0,
+                    p: self.p,
+                });
+            }
+        }
         if src == dst {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         match self.kind {
-            TopologyKind::Full => vec![self.links.pair_link(src, dst)],
+            TopologyKind::Full => Ok(vec![self.links.pair_link(src, dst)?]),
             TopologyKind::Hypercube => route::ecube(&self.links, src, dst),
             TopologyKind::Mesh2D => route::xy(&self.links, self.cols, src, dst),
         }
@@ -282,12 +421,22 @@ impl Topology {
     }
 }
 
-fn validate_p(p: usize) {
-    assert!(p > 0, "processor count must be positive");
-    assert!(
-        p.is_power_of_two(),
-        "processor count must be a power of two"
-    );
+fn validate_p(kind: TopologyKind, p: usize) -> Result<(), TopologyError> {
+    if p == 0 {
+        return Err(TopologyError::ZeroNodes);
+    }
+    if !p.is_power_of_two() {
+        return Err(TopologyError::NotPowerOfTwo(p));
+    }
+    // The full network keeps O(p^2) links; cap it tighter than the others.
+    let max = match kind {
+        TopologyKind::Full => MAX_FULL_NODES,
+        TopologyKind::Hypercube | TopologyKind::Mesh2D => MAX_NODES,
+    };
+    if p > max {
+        return Err(TopologyError::TooLarge { kind, p, max });
+    }
+    Ok(())
 }
 
 /// Mesh geometry rule from the paper: equal rows and columns for even
@@ -328,6 +477,60 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_nodes_rejected() {
         Topology::hypercube(0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        for kind in [
+            TopologyKind::Full,
+            TopologyKind::Hypercube,
+            TopologyKind::Mesh2D,
+        ] {
+            assert_eq!(
+                Topology::try_of_kind(kind, 0).unwrap_err(),
+                TopologyError::ZeroNodes
+            );
+            assert_eq!(
+                Topology::try_of_kind(kind, 3).unwrap_err(),
+                TopologyError::NotPowerOfTwo(3)
+            );
+            assert!(Topology::try_of_kind(kind, 4).is_ok());
+        }
+        // The full network rejects sizes the sparse networks still accept.
+        let over = MAX_FULL_NODES * 2;
+        assert_eq!(
+            Topology::try_full(over).unwrap_err(),
+            TopologyError::TooLarge {
+                kind: TopologyKind::Full,
+                p: over,
+                max: MAX_FULL_NODES,
+            }
+        );
+    }
+
+    #[test]
+    fn try_route_rejects_out_of_range_nodes() {
+        let t = Topology::mesh(4);
+        assert_eq!(
+            t.try_route(NodeId(0), NodeId(9)).unwrap_err(),
+            TopologyError::NodeOutOfRange { node: 9, p: 4 }
+        );
+        assert_eq!(
+            t.try_route(NodeId(7), NodeId(0)).unwrap_err(),
+            TopologyError::NodeOutOfRange { node: 7, p: 4 }
+        );
+        assert_eq!(t.try_route(NodeId(0), NodeId(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn topology_error_messages_name_the_problem() {
+        assert!(TopologyError::ZeroNodes.to_string().contains("positive"));
+        assert!(TopologyError::NotPowerOfTwo(6)
+            .to_string()
+            .contains("power of two"));
+        assert!(TopologyError::MissingLink { src: 1, dst: 2 }
+            .to_string()
+            .contains("no link"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{LinkId, NodeId};
+use crate::{LinkId, NodeId, TopologyError};
 
 /// The set of unidirectional links of a topology.
 ///
@@ -93,14 +93,21 @@ impl LinkTable {
 
     /// The link from `src` to `dst`, which must be adjacent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no direct link exists between the pair.
-    pub fn pair_link(&self, src: NodeId, dst: NodeId) -> LinkId {
+    /// [`TopologyError::MissingLink`] if no direct link exists between the
+    /// pair. The built-in routing functions only ever request adjacent
+    /// pairs, so a miss means the link table itself is inconsistent; the
+    /// panicking [`crate::Topology::route`] wrapper turns it into the old
+    /// `no link {src}->{dst}` abort.
+    pub fn pair_link(&self, src: NodeId, dst: NodeId) -> Result<LinkId, TopologyError> {
         self.by_pair
             .get(&(src.0, dst.0))
             .copied()
-            .unwrap_or_else(|| panic!("no link {src}->{dst}"))
+            .ok_or(TopologyError::MissingLink {
+                src: src.0,
+                dst: dst.0,
+            })
     }
 
     /// The link from `src` to `dst` if the pair is adjacent.
@@ -128,7 +135,7 @@ mod tests {
         for a in 0..4 {
             for b in 0..4 {
                 if a != b {
-                    let l = t.pair_link(NodeId(a), NodeId(b));
+                    let l = t.pair_link(NodeId(a), NodeId(b)).unwrap();
                     assert_eq!(t.endpoints(l), (NodeId(a), NodeId(b)));
                 }
             }
@@ -166,9 +173,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no link")]
-    fn pair_link_panics_for_non_neighbours() {
-        LinkTable::mesh(2, 2).pair_link(NodeId(0), NodeId(3));
+    fn pair_link_errors_for_non_neighbours() {
+        let err = LinkTable::mesh(2, 2)
+            .pair_link(NodeId(0), NodeId(3))
+            .unwrap_err();
+        assert_eq!(err, TopologyError::MissingLink { src: 0, dst: 3 });
     }
 
     #[test]

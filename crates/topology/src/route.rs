@@ -1,40 +1,49 @@
 //! Deterministic minimal routing: e-cube (hypercube) and XY (mesh).
 
-use crate::{LinkId, LinkTable, NodeId};
+use crate::{LinkId, LinkTable, NodeId, TopologyError};
 
 /// E-cube routing: correct differing address bits from the lowest dimension
 /// up. Deterministic, minimal, and deadlock-free under wormhole switching.
-pub(crate) fn ecube(links: &LinkTable, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+pub(crate) fn ecube(
+    links: &LinkTable,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Vec<LinkId>, TopologyError> {
     let mut path = Vec::with_capacity((src.0 ^ dst.0).count_ones() as usize);
     let mut at = src.0;
     let mut diff = at ^ dst.0;
     while diff != 0 {
         let bit = diff & diff.wrapping_neg(); // lowest set bit
         let next = at ^ bit;
-        path.push(links.pair_link(NodeId(at), NodeId(next)));
+        path.push(links.pair_link(NodeId(at), NodeId(next))?);
         at = next;
         diff = at ^ dst.0;
     }
-    path
+    Ok(path)
 }
 
 /// XY routing: travel along the row (X/columns) first, then along the
 /// column (Y/rows). Deterministic, minimal, deadlock-free.
-pub(crate) fn xy(links: &LinkTable, cols: usize, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+pub(crate) fn xy(
+    links: &LinkTable,
+    cols: usize,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Vec<LinkId>, TopologyError> {
     let (mut r, mut c) = (src.0 / cols, src.0 % cols);
     let (tr, tc) = (dst.0 / cols, dst.0 % cols);
     let mut path = Vec::with_capacity(r.abs_diff(tr) + c.abs_diff(tc));
     while c != tc {
         let nc = if c < tc { c + 1 } else { c - 1 };
-        path.push(links.pair_link(NodeId(r * cols + c), NodeId(r * cols + nc)));
+        path.push(links.pair_link(NodeId(r * cols + c), NodeId(r * cols + nc))?);
         c = nc;
     }
     while r != tr {
         let nr = if r < tr { r + 1 } else { r - 1 };
-        path.push(links.pair_link(NodeId(r * cols + c), NodeId(nr * cols + c)));
+        path.push(links.pair_link(NodeId(r * cols + c), NodeId(nr * cols + c))?);
         r = nr;
     }
-    path
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -44,7 +53,7 @@ mod tests {
     #[test]
     fn ecube_corrects_low_dimensions_first() {
         let links = LinkTable::hypercube(8);
-        let path = ecube(&links, NodeId(0), NodeId(0b101));
+        let path = ecube(&links, NodeId(0), NodeId(0b101)).unwrap();
         assert_eq!(path.len(), 2);
         let (a0, b0) = links.endpoints(path[0]);
         assert_eq!((a0.0, b0.0), (0, 1)); // bit 0 first
@@ -56,7 +65,7 @@ mod tests {
     fn xy_goes_along_row_then_column() {
         let links = LinkTable::mesh(4, 4);
         // node 0 = (0,0) to node 15 = (3,3)
-        let path = xy(&links, 4, NodeId(0), NodeId(15));
+        let path = xy(&links, 4, NodeId(0), NodeId(15)).unwrap();
         assert_eq!(path.len(), 6);
         // first three hops move east along row 0: 0->1->2->3
         let (_, to0) = links.endpoints(path[0]);
@@ -72,7 +81,7 @@ mod tests {
     fn xy_handles_westward_and_northward() {
         let links = LinkTable::mesh(2, 4);
         // node 7 = (1,3) to node 0 = (0,0): 3 west, 1 north
-        let path = xy(&links, 4, NodeId(7), NodeId(0));
+        let path = xy(&links, 4, NodeId(7), NodeId(0)).unwrap();
         assert_eq!(path.len(), 4);
         let mut at = NodeId(7);
         for l in &path {
@@ -86,8 +95,8 @@ mod tests {
     #[test]
     fn zero_length_routes() {
         let links = LinkTable::hypercube(4);
-        assert!(ecube(&links, NodeId(2), NodeId(2)).is_empty());
+        assert!(ecube(&links, NodeId(2), NodeId(2)).unwrap().is_empty());
         let links = LinkTable::mesh(2, 2);
-        assert!(xy(&links, 2, NodeId(1), NodeId(1)).is_empty());
+        assert!(xy(&links, 2, NodeId(1), NodeId(1)).unwrap().is_empty());
     }
 }

@@ -8,10 +8,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --offline --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
 
 echo "==> tier-1 green"
