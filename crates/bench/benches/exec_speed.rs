@@ -1,0 +1,65 @@
+//! Executor scaling: wall-clock of a Figure-2-class sweep (CG latency,
+//! three machine characterizations, processor sweep) under 1, 2, and 4
+//! workers, plus a one-shot serial-vs-4-worker speedup gauge.
+//!
+//! The sweep's *output* is byte-identical across worker counts (see
+//! `tests/determinism.rs`); this bench records what the parallelism
+//! buys in wall-clock. `sweep_f2/speedup_x1000` is serial wall over
+//! 4-worker wall, scaled by 1000 (so 2500 = 2.5× faster).
+
+use std::time::Instant;
+
+use spasm_apps::SizeClass;
+use spasm_bench::harness::Harness;
+use spasm_core::figures;
+use spasm_core::sweep::{run_figure_with, SweepConfig};
+
+fn main() {
+    let mut h = Harness::new("exec_speed");
+    let spec = figures::by_id("F2").expect("F2 exists");
+    let procs: &[usize] = &[2, 4, 8];
+
+    for jobs in [1usize, 2, 4] {
+        h.bench(&format!("sweep_f2/jobs{jobs}"), || {
+            let data = run_figure_with(
+                spec,
+                SizeClass::Test,
+                procs,
+                1995,
+                SweepConfig::parallel(jobs),
+            );
+            assert_eq!(data.failed_points(), 0, "F2 must sweep clean");
+            data
+        });
+    }
+
+    // One-shot speedup gauge, measured back-to-back so the JSON carries
+    // the headline number directly.
+    let wall = |jobs: usize| {
+        let t0 = Instant::now();
+        std::hint::black_box(run_figure_with(
+            spec,
+            SizeClass::Test,
+            procs,
+            1995,
+            SweepConfig::parallel(jobs),
+        ));
+        t0.elapsed()
+    };
+    let serial = wall(1);
+    let parallel = wall(4);
+    h.gauge(
+        "sweep_f2/serial_wall_ns",
+        serial.as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+    h.gauge(
+        "sweep_f2/jobs4_wall_ns",
+        parallel.as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+    h.gauge(
+        "sweep_f2/speedup_x1000",
+        (serial.as_nanos() * 1000 / parallel.as_nanos().max(1)) as u64,
+    );
+
+    h.finish();
+}

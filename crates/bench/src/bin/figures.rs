@@ -2,18 +2,28 @@
 //!
 //! ```text
 //! figures --all [--size test|small|full] [--procs 2,4,8,16,32]
-//!         [--seed N] [--csv PATH]
+//!         [--seed N] [--csv PATH] [--jobs N|auto] [--serial]
+//!         [--budget-events N]
 //! figures --figure F13 [...]
 //! figures --list
 //! ```
+//!
+//! Sweep points run on the `spasm-exec` worker pool — one worker per
+//! host hardware thread by default (`--jobs auto`); `--serial` forces
+//! the inline single-thread path. Output is byte-identical either way;
+//! per-series and total elapsed times go to stderr so the speedup is
+//! visible without polluting the table/CSV streams.
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use spasm_apps::SizeClass;
-use spasm_bench::{parse_procs, parse_size};
+use spasm_bench::{parse_jobs, parse_procs, parse_size};
 use spasm_core::figures::{self, FigureSpec};
-use spasm_core::sweep::run_figure;
+use spasm_core::sweep::{run_figure_observed, SweepConfig};
+use spasm_exec::ExecEvent;
+use spasm_machine::RunBudget;
 
 struct Args {
     figures: Vec<&'static FigureSpec>,
@@ -22,13 +32,20 @@ struct Args {
     seed: u64,
     csv: Option<String>,
     chart: bool,
+    /// Worker count in the executor's convention: 0 = auto, 1 = serial.
+    jobs: usize,
+    /// Per-run simulator-event budget (the engine's RunBudget), so a
+    /// livelocked run fails typed instead of hanging the sweep.
+    budget_events: Option<u64>,
+    ablation: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures (--all | --figure ID | --list | --ablation g|protocol|cache) \
          [--size test|small|full] \
-         [--procs 2,4,...] [--seed N] [--csv PATH] [--chart]"
+         [--procs 2,4,...] [--seed N] [--csv PATH] [--chart] \
+         [--jobs N|auto] [--serial] [--budget-events N]"
     );
     std::process::exit(2)
 }
@@ -41,6 +58,9 @@ fn parse_args() -> Args {
         seed: 1995,
         csv: None,
         chart: false,
+        jobs: 0,
+        budget_events: None,
+        ablation: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,27 +105,37 @@ fn parse_args() -> Args {
             }
             "--csv" => args.csv = Some(it.next().unwrap_or_else(|| usage())),
             "--chart" => args.chart = true,
-            "--ablation" => {
-                let which = it.next().unwrap_or_else(|| usage());
-                run_ablation(&which);
-                std::process::exit(0);
+            "--jobs" => {
+                args.jobs =
+                    parse_jobs(&it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
             }
+            "--serial" => args.jobs = 1,
+            "--budget-events" => {
+                args.budget_events = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--ablation" => args.ablation = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if args.figures.is_empty() {
+    if args.figures.is_empty() && args.ablation.is_none() {
         usage();
     }
     args
 }
 
 /// Runs one of the extension studies (EXPERIMENTS.md A2–A4) and prints
-/// its table.
-fn run_ablation(which: &str) {
+/// its table. `jobs` sizes the worker pool for each study's independent
+/// runs (executor convention: 0 = auto, 1 = serial).
+fn run_ablation(which: &str, jobs: usize) {
     use spasm_apps::AppId;
     use spasm_core::ablation;
     use spasm_core::Net;
 
+    let started = Instant::now();
     match which {
         "g" => {
             println!("A2: traffic-aware g on the 8-processor mesh (test size)\n");
@@ -114,8 +144,9 @@ fn run_ablation(which: &str) {
                 "app", "crossing", "target (us)", "naive (us)", "aware (us)"
             );
             for app in AppId::ALL {
-                let s = ablation::traffic_aware_g(app, SizeClass::Test, Net::Mesh, 8, 1995)
-                    .expect("verified runs");
+                let s =
+                    ablation::traffic_aware_g_jobs(app, SizeClass::Test, Net::Mesh, 8, 1995, jobs)
+                        .expect("verified runs");
                 println!(
                     "{:>9} {:>8.0}% {:>12.1} {:>12.1} {:>12.1}",
                     app.to_string(),
@@ -133,8 +164,15 @@ fn run_ablation(which: &str) {
                 "app", "berkeley (us)", "wb-on-read (us)", "gap"
             );
             for app in AppId::ALL {
-                let s = ablation::protocol_sensitivity(app, SizeClass::Test, Net::Full, 8, 1995)
-                    .expect("verified runs");
+                let s = ablation::protocol_sensitivity_jobs(
+                    app,
+                    SizeClass::Test,
+                    Net::Full,
+                    8,
+                    1995,
+                    jobs,
+                )
+                .expect("verified runs");
                 println!(
                     "{:>9} {:>14.1} {:>18.1} {:>7.1}%",
                     app.to_string(),
@@ -152,13 +190,14 @@ fn run_ablation(which: &str) {
             }
             println!();
             for app in AppId::ALL {
-                let points = ablation::cache_working_set(
+                let points = ablation::cache_working_set_jobs(
                     app,
                     SizeClass::Test,
                     Net::Full,
                     8,
                     1995,
                     ablation::CACHE_SWEEP,
+                    jobs,
                 )
                 .expect("verified runs");
                 print!("{:>9}", app.to_string());
@@ -174,20 +213,77 @@ fn run_ablation(which: &str) {
             std::process::exit(2);
         }
     }
+    eprintln!(
+        "ablation {which}: elapsed {:.1?} ({})",
+        started.elapsed(),
+        jobs_label(jobs)
+    );
+}
+
+/// Human label for a `--jobs` setting.
+fn jobs_label(jobs: usize) -> String {
+    if jobs == 0 {
+        format!("jobs=auto({})", spasm_exec::available_parallelism())
+    } else {
+        format!("jobs={jobs}")
+    }
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(which) = &args.ablation {
+        run_ablation(which, args.jobs);
+        return ExitCode::SUCCESS;
+    }
+    let sweep = SweepConfig {
+        jobs: args.jobs,
+        budget: args
+            .budget_events
+            .map_or(RunBudget::UNLIMITED, RunBudget::events),
+        ..SweepConfig::default()
+    };
+    let total_started = Instant::now();
+    let mut total_busy = Duration::ZERO;
+    let mut total_points = 0usize;
     let mut csv = String::from("figure,app,net,metric,procs,machine,value\n");
     let mut failed_points = 0;
     for spec in &args.figures {
-        let started = std::time::Instant::now();
-        let data = run_figure(spec, args.size, &args.procs, args.seed);
+        let started = Instant::now();
+        // Per-point wall times, folded per series by the observer as the
+        // pool reports completions (job indices are series-major).
+        let points_per_series = args.procs.len().max(1);
+        let mut series_busy = vec![Duration::ZERO; spec.machines.len()];
+        let data = run_figure_observed(spec, args.size, &args.procs, args.seed, sweep, |ev| {
+            if let ExecEvent::Finished { job, wall, .. } | ExecEvent::Panicked { job, wall, .. } =
+                ev
+            {
+                series_busy[job / points_per_series] += *wall;
+            }
+        });
+        let figure_wall = started.elapsed();
         println!("{}", data.render_table());
         if args.chart {
             println!("{}", data.render_chart(12));
         }
-        println!("  [swept in {:.1?}]\n", started.elapsed());
+        // Timing goes to stderr: the stdout stream stays parseable
+        // (tables/CSV only) and byte-identical across --jobs settings.
+        for (s, busy) in data.series.iter().zip(&series_busy) {
+            eprintln!(
+                "{}: series {}: {:.1?} simulated across {} point(s)",
+                spec.id,
+                s.machine,
+                busy,
+                data.procs.len()
+            );
+            total_busy += *busy;
+        }
+        eprintln!(
+            "{}: swept in {:.1?} ({})",
+            spec.id,
+            figure_wall,
+            jobs_label(args.jobs)
+        );
+        total_points += data.series.len() * data.procs.len();
         // Every failed point is named on stderr but does not abort the
         // remaining figures.
         for s in &data.series {
@@ -207,6 +303,16 @@ fn main() -> ExitCode {
             csv.push('\n');
         }
     }
+    let total_wall = total_started.elapsed();
+    eprintln!(
+        "total: {} figure(s), {} point(s), {:.1?} simulated in {:.1?} wall ({:.1}x, {})",
+        args.figures.len(),
+        total_points,
+        total_busy,
+        total_wall,
+        total_busy.as_secs_f64() / total_wall.as_secs_f64().max(1e-9),
+        jobs_label(args.jobs)
+    );
     if let Some(path) = args.csv {
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
             Ok(()) => println!("wrote {path}"),

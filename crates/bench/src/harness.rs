@@ -130,6 +130,24 @@ impl Harness {
         self.results.push(stats);
     }
 
+    /// Records an externally measured value (in nanoseconds, or any
+    /// scaled quantity the label explains) as a single-iteration result
+    /// row. For one-shot wall-clock measurements and derived numbers —
+    /// e.g. a parallel-over-serial speedup scaled by 1000 — that should
+    /// land in `BENCH_<name>.json` next to the timed benches.
+    pub fn gauge(&mut self, label: &str, value: u64) {
+        let stats = Stats {
+            name: label.to_string(),
+            min_ns: value,
+            mean_ns: value,
+            median_ns: value,
+            p95_ns: value,
+            iters: 1,
+        };
+        println!("{:<44} gauge  {:>12}", stats.name, stats.median_ns);
+        self.results.push(stats);
+    }
+
     /// Writes `BENCH_<name>.json` (unless in smoke mode) and consumes
     /// the runner.
     pub fn finish(self) {
@@ -258,5 +276,21 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn gauge_rows_land_in_results_and_json() {
+        let mut h = Harness {
+            name: "unit".into(),
+            iters: 1,
+            warmup: 0,
+            smoke: true,
+            results: Vec::new(),
+        };
+        h.gauge("exec/speedup_x1000", 2750);
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].iters, 1);
+        assert_eq!(h.results[0].median_ns, 2750);
+        assert!(h.to_json().contains("\"name\": \"exec/speedup_x1000\""));
     }
 }

@@ -37,6 +37,16 @@ pub fn parse_procs(s: &str) -> Option<Vec<usize>> {
         .collect()
 }
 
+/// Parses a `--jobs` worker count: `auto` (or `0`) means one worker per
+/// host hardware thread, anything else is an explicit worker count in
+/// the executor's convention (`SweepConfig::jobs`).
+pub fn parse_jobs(s: &str) -> Option<usize> {
+    if s == "auto" {
+        return Some(0);
+    }
+    s.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +57,15 @@ mod tests {
         assert_eq!(parse_size("small"), Some(SizeClass::Small));
         assert_eq!(parse_size("full"), Some(SizeClass::Full));
         assert_eq!(parse_size("huge"), None);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs("auto"), Some(0));
+        assert_eq!(parse_jobs("0"), Some(0));
+        assert_eq!(parse_jobs("1"), Some(1));
+        assert_eq!(parse_jobs("8"), Some(8));
+        assert_eq!(parse_jobs("many"), None);
     }
 
     #[test]

@@ -14,9 +14,41 @@
 //! corrected estimate removes.
 
 use spasm_apps::{AppId, SizeClass};
+use spasm_exec::{execute, ExecConfig, JobOutput};
 use spasm_machine::MachineConfig;
 
 use crate::{Experiment, ExperimentError, Machine, Net, RunMetrics};
+
+/// Runs a batch of independent (experiment, config) pairs on a worker
+/// pool (`jobs` as in [`crate::sweep::SweepConfig::jobs`]), returning
+/// per-run results in submission order. Job-level failures (escaped
+/// panics, cancellations) map onto [`ExperimentError::Aborted`].
+fn run_batch(
+    jobs: usize,
+    runs: Vec<(Experiment, MachineConfig)>,
+) -> Vec<Result<RunMetrics, ExperimentError>> {
+    let report = execute(
+        ExecConfig::with_jobs(jobs),
+        runs,
+        |_ctx, (exp, config)| {
+            let result = exp.run_with_config(config);
+            let (cost, faults) = result
+                .as_ref()
+                .map_or((0, 0), |m| (m.events, m.faults_injected));
+            JobOutput {
+                value: result,
+                cost,
+                faults,
+            }
+        },
+        |_| {},
+    );
+    report
+        .results
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|e| Err(e.into())))
+        .collect()
+}
 
 /// Results of the traffic-aware-g study for one configuration.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +88,26 @@ pub fn traffic_aware_g(
     procs: usize,
     seed: u64,
 ) -> Result<GStudy, ExperimentError> {
+    traffic_aware_g_jobs(app, size, net, procs, seed, 1)
+}
+
+/// [`traffic_aware_g`] on a worker pool: the target and naive-CLogP runs
+/// are independent and execute concurrently; the aware run needs the
+/// target's measured crossing fraction and follows. Results are
+/// identical to the serial study for the same seed.
+///
+/// # Errors
+///
+/// Propagates the first failed or unverified simulation, in the serial
+/// study's order (target, then naive, then aware).
+pub fn traffic_aware_g_jobs(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<GStudy, ExperimentError> {
     let base = Experiment {
         app,
         size,
@@ -64,14 +116,21 @@ pub fn traffic_aware_g(
         procs,
         seed,
     };
-    let target = base.run()?;
-    let crossing_fraction = target.crossing_fraction;
-
     let clogp = Experiment {
         machine: Machine::CLogP,
         ..base
     };
-    let naive = clogp.run()?;
+    let mut batch = run_batch(
+        jobs,
+        vec![
+            (base, base.machine.config()),
+            (clogp, clogp.machine.config()),
+        ],
+    )
+    .into_iter();
+    let target = batch.next().expect("target slot")?;
+    let naive = batch.next().expect("naive slot")?;
+    let crossing_fraction = target.crossing_fraction;
     let aware = clogp.run_with_config(MachineConfig {
         g_scale: crossing_fraction,
         ..MachineConfig::default()
@@ -112,6 +171,27 @@ pub fn cache_working_set(
     seed: u64,
     capacities: &[usize],
 ) -> Result<Vec<CachePoint>, ExperimentError> {
+    cache_working_set_jobs(app, size, net, procs, seed, capacities, 1)
+}
+
+/// [`cache_working_set`] on a worker pool: one job per capacity. The
+/// returned curve (and, on failure, the error) matches the serial sweep:
+/// failures surface in capacity order, so the reported error is the one
+/// the serial short-circuit would have hit first.
+///
+/// # Errors
+///
+/// The first failed or unverified simulation, in capacity order.
+#[allow(clippy::too_many_arguments)]
+pub fn cache_working_set_jobs(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+    capacities: &[usize],
+    jobs: usize,
+) -> Result<Vec<CachePoint>, ExperimentError> {
     let base = Experiment {
         app,
         size,
@@ -120,15 +200,21 @@ pub fn cache_working_set(
         procs,
         seed,
     };
-    capacities
+    let runs = capacities
         .iter()
         .map(|&size_bytes| {
             let mut config = MachineConfig::default();
             config.cache.size_bytes = size_bytes;
-            let metrics = base.run_with_config(config)?;
+            (base, config)
+        })
+        .collect();
+    run_batch(jobs, runs)
+        .into_iter()
+        .zip(capacities)
+        .map(|(metrics, &size_bytes)| {
             Ok(CachePoint {
                 size_bytes,
-                metrics,
+                metrics: metrics?,
             })
         })
         .collect()
@@ -170,6 +256,25 @@ pub fn protocol_sensitivity(
     procs: usize,
     seed: u64,
 ) -> Result<ProtocolStudy, ExperimentError> {
+    protocol_sensitivity_jobs(app, size, net, procs, seed, 1)
+}
+
+/// [`protocol_sensitivity`] on a worker pool: the two protocol runs are
+/// independent and execute concurrently, with identical results to the
+/// serial study.
+///
+/// # Errors
+///
+/// Propagates the first failed or unverified simulation (Berkeley
+/// first, matching the serial order).
+pub fn protocol_sensitivity_jobs(
+    app: AppId,
+    size: SizeClass,
+    net: Net,
+    procs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<ProtocolStudy, ExperimentError> {
     let base = Experiment {
         app,
         size,
@@ -178,11 +283,22 @@ pub fn protocol_sensitivity(
         procs,
         seed,
     };
-    let berkeley = base.run()?;
-    let write_back_on_read = base.run_with_config(MachineConfig {
-        protocol: spasm_cache::ProtocolKind::WriteBackOnRead,
-        ..MachineConfig::default()
-    })?;
+    let mut batch = run_batch(
+        jobs,
+        vec![
+            (base, base.machine.config()),
+            (
+                base,
+                MachineConfig {
+                    protocol: spasm_cache::ProtocolKind::WriteBackOnRead,
+                    ..MachineConfig::default()
+                },
+            ),
+        ],
+    )
+    .into_iter();
+    let berkeley = batch.next().expect("berkeley slot")?;
+    let write_back_on_read = batch.next().expect("write-back slot")?;
     Ok(ProtocolStudy {
         berkeley,
         write_back_on_read,
@@ -255,6 +371,53 @@ mod tests {
             points[1].metrics.messages
         );
         assert!(points[0].metrics.exec_us > points[1].metrics.exec_us);
+    }
+
+    #[test]
+    fn parallel_ablations_are_bit_identical_to_serial() {
+        let bits = |m: &RunMetrics| {
+            (
+                m.exec_us.to_bits(),
+                m.contention_us.to_bits(),
+                m.messages,
+                m.events,
+            )
+        };
+        let a = traffic_aware_g(AppId::Fft, SizeClass::Test, Net::Mesh, 8, 3).unwrap();
+        let b = traffic_aware_g_jobs(AppId::Fft, SizeClass::Test, Net::Mesh, 8, 3, 4).unwrap();
+        assert_eq!(bits(&a.target), bits(&b.target));
+        assert_eq!(bits(&a.naive), bits(&b.naive));
+        assert_eq!(bits(&a.aware), bits(&b.aware));
+        assert_eq!(a.crossing_fraction.to_bits(), b.crossing_fraction.to_bits());
+
+        let a = protocol_sensitivity(AppId::Cg, SizeClass::Test, Net::Full, 4, 1995).unwrap();
+        let b =
+            protocol_sensitivity_jobs(AppId::Cg, SizeClass::Test, Net::Full, 4, 1995, 2).unwrap();
+        assert_eq!(bits(&a.berkeley), bits(&b.berkeley));
+        assert_eq!(bits(&a.write_back_on_read), bits(&b.write_back_on_read));
+
+        let a =
+            cache_working_set(AppId::Cg, SizeClass::Test, Net::Full, 4, 3, CACHE_SWEEP).unwrap();
+        let b = cache_working_set_jobs(AppId::Cg, SizeClass::Test, Net::Full, 4, 3, CACHE_SWEEP, 4)
+            .unwrap();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.size_bytes, pb.size_bytes);
+            assert_eq!(bits(&pa.metrics), bits(&pb.metrics));
+        }
+    }
+
+    #[test]
+    fn parallel_cache_sweep_fails_in_capacity_order() {
+        // A capacity that breaks the power-of-two set-count requirement
+        // fails identically under both paths, and the parallel path
+        // reports the *first* bad capacity like the serial short-circuit.
+        let caps = &[3 << 10, 1 << 10];
+        let serial = cache_working_set(AppId::Ep, SizeClass::Test, Net::Full, 2, 1, caps);
+        let parallel = cache_working_set_jobs(AppId::Ep, SizeClass::Test, Net::Full, 2, 1, caps, 2);
+        match (serial, parallel) {
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            other => panic!("both paths must fail the same way, got {other:?}"),
+        }
     }
 
     #[test]

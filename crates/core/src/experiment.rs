@@ -184,6 +184,22 @@ impl ExperimentError {
     }
 }
 
+/// A job-level failure from the parallel executor maps onto the same
+/// abort class as an escaped panic: either the job's closure panicked
+/// outside the experiment's own `catch_unwind` fence, or the pool
+/// cancelled the job before it ran (shared budget exhausted, caller
+/// cancellation, wall watchdog).
+impl From<spasm_exec::JobError> for ExperimentError {
+    fn from(e: spasm_exec::JobError) -> Self {
+        match e {
+            spasm_exec::JobError::Panicked(msg) => ExperimentError::Aborted(msg),
+            spasm_exec::JobError::Cancelled(reason) => {
+                ExperimentError::Aborted(format!("job not run: {reason}"))
+            }
+        }
+    }
+}
+
 /// Renders a caught panic payload (best effort: `&str` and `String`
 /// payloads are quoted, anything else is described).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -218,6 +234,9 @@ pub struct RunMetrics {
     /// Fraction of network messages that crossed the bisection (target
     /// machine only; 0 on the abstracted machines).
     pub crossing_fraction: f64,
+    /// Faults injected during the run, all classes summed (0 without an
+    /// active fault plan).
+    pub faults_injected: u64,
     /// Host wall-clock time of the simulation.
     pub wall: Duration,
 }
@@ -288,6 +307,7 @@ fn metrics_of(report: &spasm_machine::RunReport) -> RunMetrics {
         bytes: report.summary.net_bytes,
         events: report.events,
         crossing_fraction: report.summary.crossing_fraction(),
+        faults_injected: report.faults.total(),
         wall: report.wall,
     }
 }

@@ -5,8 +5,16 @@
 //! [`Outcome::Failed`] cell instead of aborting the whole figure, and
 //! budget-class failures get a bounded retry with a reseeded fault
 //! stream before being declared dead.
+//!
+//! Sweeps are also *parallel*: every (machine × procs) point is an
+//! independent simulation, so [`SweepConfig::jobs`] hands the points to
+//! the `spasm-exec` worker pool. Results are reassembled in submission
+//! order, and each point's simulation is internally unchanged, so the
+//! resulting [`FigureData`] — table, CSV, chart, metric bits — is
+//! **byte-identical** to a serial sweep of the same seeds.
 
 use spasm_apps::SizeClass;
+use spasm_exec::{execute, CostBudget, ExecConfig, ExecEvent, JobOutput};
 use spasm_machine::{FaultPlan, RunBudget};
 
 use crate::figures::{FigureSpec, Metric};
@@ -75,6 +83,19 @@ pub struct SweepConfig {
     /// failures under an active fault plan (each retry reseeds the fault
     /// stream); deterministic failures are never retried.
     pub max_attempts: u32,
+    /// Worker count for the sweep's point executor: `1` (the default)
+    /// runs inline on the calling thread, `0` means one worker per host
+    /// hardware thread, `n > 1` spawns `n` OS workers. Output is
+    /// byte-identical across all settings.
+    pub jobs: usize,
+    /// Global simulator-event budget for the *whole* sweep, accounted
+    /// across all workers (the parallel analogue of the per-run
+    /// [`RunBudget`]): once exceeded, remaining points fail with
+    /// [`ExperimentError::Aborted`] instead of running. `None` is
+    /// unlimited. Which points are cut depends on completion timing, so
+    /// set this only as a safety valve, not in determinism-sensitive
+    /// sweeps.
+    pub total_events: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -83,7 +104,34 @@ impl Default for SweepConfig {
             faults: None,
             budget: RunBudget::UNLIMITED,
             max_attempts: 3,
+            jobs: 1,
+            total_events: None,
         }
+    }
+}
+
+impl SweepConfig {
+    /// A default-resilience config that runs points on `jobs` workers.
+    pub fn parallel(jobs: usize) -> Self {
+        SweepConfig {
+            jobs,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// The fault seed used for attempt `attempt` (1-based) of a point whose
+/// plan is seeded with `base`: attempt 1 keeps the plan's own seed, and
+/// every later attempt derives a fresh, decorrelated seed. Pure — the
+/// serial and parallel paths share it, and retries are reproducible from
+/// `(base, attempt)` alone.
+pub fn retry_seed(base: u64, attempt: u32) -> u64 {
+    if attempt <= 1 {
+        base
+    } else {
+        // `FaultPlan::reseeded` holds the canonical derivation; routing
+        // through it keeps the two in lockstep.
+        FaultPlan::quiet(base).reseeded(u64::from(attempt)).seed
     }
 }
 
@@ -106,8 +154,8 @@ pub fn run_figure(spec: &FigureSpec, size: SizeClass, procs: &[usize], seed: u64
 }
 
 /// Runs the sweep under explicit resilience settings: optional fault
-/// injection, per-run budgets, and bounded reseeded retries for
-/// budget-class failures.
+/// injection, per-run budgets, bounded reseeded retries for budget-class
+/// failures, and a worker pool sized by [`SweepConfig::jobs`].
 pub fn run_figure_with(
     spec: &FigureSpec,
     size: SizeClass,
@@ -115,21 +163,88 @@ pub fn run_figure_with(
     seed: u64,
     sweep: SweepConfig,
 ) -> FigureData {
+    run_figure_observed(spec, size, procs, seed, sweep, |_| {})
+}
+
+/// [`run_figure_with`], streaming executor progress events (queue /
+/// start / finish, per-point wall time and fault counts) to `observe` on
+/// the calling thread — the hook the `figures` CLI uses for live timing.
+///
+/// Points are submitted series-major (every processor count of the first
+/// machine, then the second, …), exactly the serial iteration order, and
+/// results are reassembled by submission index, so the returned
+/// [`FigureData`] does not depend on scheduling.
+pub fn run_figure_observed(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: SweepConfig,
+    observe: impl FnMut(&ExecEvent),
+) -> FigureData {
+    let points: Vec<(Machine, Experiment)> = spec
+        .machines
+        .iter()
+        .flat_map(|&machine| {
+            procs.iter().map(move |&p| {
+                (
+                    machine,
+                    Experiment {
+                        app: spec.app,
+                        size,
+                        net: spec.net,
+                        machine,
+                        procs: p,
+                        seed,
+                    },
+                )
+            })
+        })
+        .collect();
+    let config = ExecConfig {
+        jobs: sweep.jobs,
+        seed,
+        cost_budget: sweep
+            .total_events
+            .map_or(CostBudget::UNLIMITED, CostBudget::units),
+        ..ExecConfig::default()
+    };
+    let report = execute(
+        config,
+        points,
+        |_ctx, (machine, exp)| {
+            let (outcome, m) = run_point(&exp, machine, sweep);
+            let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
+            JobOutput {
+                value: (outcome, m),
+                cost,
+                faults,
+            }
+        },
+        observe,
+    );
+
+    let mut slots = report.results.into_iter();
     let mut series = Vec::with_capacity(spec.machines.len());
     for &machine in spec.machines {
         let mut values = Vec::with_capacity(procs.len());
         let mut metrics = Vec::with_capacity(procs.len());
         let mut outcomes = Vec::with_capacity(procs.len());
-        for &p in procs {
-            let exp = Experiment {
-                app: spec.app,
-                size,
-                net: spec.net,
-                machine,
-                procs: p,
-                seed,
+        for _ in procs {
+            let (outcome, m) = match slots.next().expect("one result slot per point") {
+                Ok(point) => point,
+                // A job-level failure (panic past the experiment fence,
+                // or a point cancelled by the shared budget) becomes a
+                // FAILED cell like any other; attempts = 0 records that
+                // the simulation never completed an attempt cycle.
+                Err(e) => (
+                    Outcome::Failed {
+                        error: e.into(),
+                        attempts: 0,
+                    },
+                    None,
+                ),
             };
-            let (outcome, m) = run_point(&exp, machine, sweep);
             values.push(m.as_ref().map_or(f64::NAN, |m| extract(spec.metric, m)));
             metrics.push(m);
             outcomes.push(outcome);
@@ -151,7 +266,9 @@ pub fn run_figure_with(
 /// Runs one sweep point with bounded retry. A retry is worthwhile only
 /// when the failure is budget-class *and* a fault plan is active — a
 /// reseeded fault stream changes the run; without faults the simulation
-/// is deterministic and would fail identically.
+/// is deterministic and would fail identically. Shared verbatim by the
+/// serial and parallel paths (the executor calls it from worker
+/// threads), with [`retry_seed`] supplying the per-attempt fault seed.
 fn run_point(
     exp: &Experiment,
     machine: Machine,
@@ -163,12 +280,9 @@ fn run_point(
         attempts += 1;
         let mut config = machine.config();
         config.budget = sweep.budget;
-        config.faults = sweep.faults.map(|f| {
-            if attempts == 1 {
-                f
-            } else {
-                f.reseeded(attempts as u64)
-            }
+        config.faults = sweep.faults.map(|f| FaultPlan {
+            seed: retry_seed(f.seed, attempts),
+            ..f
         });
         match exp.run_with_config(config) {
             Ok(m) => return (Outcome::Ok, Some(m)),
@@ -461,6 +575,7 @@ mod tests {
             faults: Some(FaultPlan::quiet(7)),
             budget: RunBudget::events(3),
             max_attempts: 2,
+            ..SweepConfig::default()
         };
         let data = run_figure_with(&spec, SizeClass::Test, &[2], 1, sweep);
         match &data.series[0].outcomes[0] {
@@ -476,6 +591,109 @@ mod tests {
             }
             other => panic!("expected Failed outcome, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_seed_is_pure_and_matches_the_fault_plan_derivation() {
+        // Attempt 1 is always the plan's own seed.
+        assert_eq!(retry_seed(77, 1), 77);
+        assert_eq!(retry_seed(77, 0), 77);
+        // Later attempts reseed exactly like FaultPlan::reseeded.
+        let plan = FaultPlan::adversarial(77);
+        for attempt in 2..6u32 {
+            assert_eq!(
+                retry_seed(77, attempt),
+                plan.reseeded(u64::from(attempt)).seed,
+                "attempt {attempt}"
+            );
+        }
+        // Pure and decorrelated across attempts.
+        assert_eq!(retry_seed(3, 4), retry_seed(3, 4));
+        assert_ne!(retry_seed(3, 2), retry_seed(3, 3));
+        assert_ne!(retry_seed(3, 2), 3);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let spec = figures::by_id("F1").unwrap();
+        let serial = run_figure_with(spec, SizeClass::Test, &[2, 4], 5, SweepConfig::default());
+        let parallel = run_figure_with(spec, SizeClass::Test, &[2, 4], 5, SweepConfig::parallel(4));
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.render_table(), parallel.render_table());
+        assert_eq!(serial.render_chart(10), parallel.render_chart(10));
+        for (a, b) in serial.series.iter().zip(&parallel.series) {
+            for (va, vb) in a.values.iter().zip(&b.values) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{}", a.machine);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_reports_failed_points_like_serial() {
+        // p = 3 fails in both paths, in the same cell, with the same
+        // typed error.
+        let spec = figures::FigureSpec {
+            id: "RP",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::ExecTime,
+            machines: &[Machine::Pram, Machine::Target],
+            expect: "one failed column, both paths",
+        };
+        let serial = run_figure(&spec, SizeClass::Test, &[2, 3, 4], 1);
+        let parallel = run_figure_with(
+            &spec,
+            SizeClass::Test,
+            &[2, 3, 4],
+            1,
+            SweepConfig::parallel(3),
+        );
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(parallel.failed_points(), 2);
+    }
+
+    #[test]
+    fn sweep_total_event_budget_aborts_the_tail() {
+        // A one-event global budget: the first point to finish trips it
+        // and later points abort before running. Serial pool keeps the
+        // cut deterministic.
+        let spec = figures::by_id("F12").unwrap();
+        let sweep = SweepConfig {
+            total_events: Some(1),
+            ..SweepConfig::default()
+        };
+        let data = run_figure_with(spec, SizeClass::Test, &[2, 4], 5, sweep);
+        assert!(data.series[0].outcomes[0].is_ok(), "first point still runs");
+        match &data.series[2].outcomes[1] {
+            Outcome::Failed { error, attempts } => {
+                assert!(
+                    matches!(error, ExperimentError::Aborted(_)),
+                    "expected Aborted, got {error}"
+                );
+                assert_eq!(*attempts, 0, "cancelled points never attempt");
+            }
+            other => panic!("expected Failed outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_point_of_a_parallel_sweep() {
+        use std::cell::RefCell;
+        let spec = figures::by_id("F12").unwrap();
+        let finished = RefCell::new(0usize);
+        let data = run_figure_observed(
+            spec,
+            SizeClass::Test,
+            &[2, 4],
+            5,
+            SweepConfig::parallel(2),
+            |ev| {
+                if matches!(ev, spasm_exec::ExecEvent::Finished { .. }) {
+                    *finished.borrow_mut() += 1;
+                }
+            },
+        );
+        assert_eq!(*finished.borrow(), data.series.len() * data.procs.len());
     }
 
     #[test]

@@ -1,0 +1,704 @@
+//! # spasm-exec — a deterministic parallel experiment executor
+//!
+//! The figure sweeps of the paper are embarrassingly parallel — every
+//! (application × machine × processor-count) point is an independent
+//! simulation — yet each *simulation* is internally sequential by design
+//! (the engine's determinism depends on a single event loop). This crate
+//! supplies the missing layer: a bounded OS-thread worker pool that runs
+//! many independent simulations at once while keeping every observable
+//! output **byte-identical** to a serial run.
+//!
+//! Determinism contract:
+//!
+//! * results come back in **submission order**, one slot per job,
+//!   regardless of completion order ([`ExecReport::results`]);
+//! * jobs receive a **seed** derived only from the configured base seed
+//!   and their submission index ([`seed_for`]), never from scheduling;
+//! * a panicking job is caught at the job boundary ([`JobError::Panicked`])
+//!   and the worker continues — one bad point cannot poison a batch;
+//! * with `jobs <= 1` the pool degenerates to an inline loop on the
+//!   calling thread with the *same* code path and event stream, so a
+//!   serial run is the trivial case of a parallel one, not a fork.
+//!
+//! Shared machinery: a [`CancelToken`] aborts the not-yet-started tail of
+//! a batch (user-triggered, e.g. fail-fast from the observer), a
+//! [`CostBudget`] bounds the *total* cost (simulator events, by
+//! convention) spent across all workers, and a wall-clock budget turns a
+//! runaway batch into typed [`JobError::Cancelled`] results for the
+//! remaining jobs. Progress and metrics flow to the submitting thread as
+//! an [`ExecEvent`] stream (queued/started/finished, per-job wall time,
+//! injected-fault counters).
+//!
+//! The crate is hermetic: `std` plus the in-tree `spasm-prng` only.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_exec::{execute, ExecConfig, JobOutput};
+//!
+//! let report = execute(
+//!     ExecConfig::with_jobs(4),
+//!     (0u64..32).collect(),
+//!     |_ctx, n| JobOutput::plain(n * n),
+//!     |_event| {},
+//! );
+//! let squares: Vec<u64> = report.results.into_iter().map(Result::unwrap).collect();
+//! assert_eq!(squares[7], 49); // submission order, whatever the schedule
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+
+pub use events::{ExecEvent, ExecReport, ExecStats};
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a pool stopped taking new jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    User,
+    /// The shared [`CostBudget`] ran out.
+    CostBudget,
+    /// The batch exceeded its wall-clock budget.
+    WallBudget,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CancelReason::User => "cancelled by caller",
+            CancelReason::CostBudget => "shared cost budget exhausted",
+            CancelReason::WallBudget => "wall-clock budget exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why one job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's closure panicked; the payload is the rendered message.
+    Panicked(String),
+    /// The pool was cancelled before a worker reached this job.
+    Cancelled(CancelReason),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Cancelled(reason) => write!(f, "job not run: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+const CANCEL_NONE: u8 = 0;
+const CANCEL_USER: u8 = 1;
+const CANCEL_COST: u8 = 2;
+const CANCEL_WALL: u8 = 3;
+
+/// Shared, clonable cancellation flag. Cancelling stops *queued* jobs
+/// from starting; jobs already running complete (a simulation cannot be
+/// safely interrupted mid-event-loop) and their results are kept.
+///
+/// The first cancellation reason wins; later calls are no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation on behalf of the caller.
+    pub fn cancel(&self) {
+        self.trigger(CANCEL_USER);
+    }
+
+    fn trigger(&self, code: u8) {
+        let _ = self
+            .state
+            .compare_exchange(CANCEL_NONE, code, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The cancellation reason, if any.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.state.load(Ordering::Acquire) {
+            CANCEL_USER => Some(CancelReason::User),
+            CANCEL_COST => Some(CancelReason::CostBudget),
+            CANCEL_WALL => Some(CancelReason::WallBudget),
+            _ => None,
+        }
+    }
+
+    /// True once any cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.reason().is_some()
+    }
+}
+
+/// A shared bound on the total cost spent by a batch, accounted across
+/// all workers. Cost units are whatever the jobs report — the experiment
+/// layer charges simulator events, making this the parallel analogue of
+/// the engine's per-run `RunBudget`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBudget {
+    /// Maximum total cost units; `None` is unlimited.
+    pub max_cost: Option<u64>,
+}
+
+impl CostBudget {
+    /// No bound.
+    pub const UNLIMITED: CostBudget = CostBudget { max_cost: None };
+
+    /// A bound of `max` total cost units.
+    pub fn units(max: u64) -> Self {
+        CostBudget {
+            max_cost: Some(max),
+        }
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    /// Worker count: `0` means auto (host parallelism), `1` runs inline
+    /// on the calling thread, `n > 1` spawns `min(n, jobs)` workers.
+    pub jobs: usize,
+    /// Base seed for the per-job seed stream ([`seed_for`]).
+    pub seed: u64,
+    /// Shared cost bound across all jobs of the batch.
+    pub cost_budget: CostBudget,
+    /// Wall-clock bound on the whole batch; once exceeded, queued jobs
+    /// are cancelled with [`CancelReason::WallBudget`]. Running jobs
+    /// still complete — pair with a per-run budget (the experiment
+    /// layer's `RunBudget`) so individual runs cannot hang forever.
+    pub wall_budget: Option<Duration>,
+    /// External cancellation handle; clone it before passing the config
+    /// to keep the ability to cancel mid-batch.
+    pub cancel: CancelToken,
+}
+
+impl ExecConfig {
+    /// Auto-sized pool: one worker per available hardware thread.
+    pub fn auto() -> Self {
+        ExecConfig::default()
+    }
+
+    /// Inline serial execution on the calling thread.
+    pub fn serial() -> Self {
+        ExecConfig::with_jobs(1)
+    }
+
+    /// A pool of exactly `jobs` workers (`0` = auto).
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecConfig {
+            jobs,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// The worker count this config resolves to for `n_jobs` jobs.
+    pub fn resolved_workers(&self, n_jobs: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            available_parallelism()
+        } else {
+            self.jobs
+        };
+        requested.min(n_jobs).max(1)
+    }
+}
+
+/// The host's available parallelism, defaulting to 1 when unknown.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The seed handed to job `job` under base seed `base`: a pure splitmix
+/// derivation, independent of worker assignment and completion order.
+/// `seed_for(base, 0) != base` by construction, so job streams never
+/// collide with a caller's own use of the base seed.
+pub fn seed_for(base: u64, job: u64) -> u64 {
+    let mut s = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(job.wrapping_add(1));
+    spasm_prng::splitmix64(&mut s)
+}
+
+/// Per-job context handed to the job closure.
+#[derive(Debug)]
+pub struct JobCtx<'a> {
+    /// Submission index of this job.
+    pub job: usize,
+    /// This job's derived seed ([`seed_for`]).
+    pub seed: u64,
+    cancel: &'a CancelToken,
+}
+
+impl JobCtx<'_> {
+    /// True if the batch has been cancelled; long-running jobs may poll
+    /// this to bail out early (e.g. by tightening their own budget).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+}
+
+/// What one job hands back: its value plus metered cost and fault counts
+/// for the shared budget and the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOutput<R> {
+    /// The job's result value.
+    pub value: R,
+    /// Cost units consumed (simulator events, by convention).
+    pub cost: u64,
+    /// Faults injected during the job, for the metrics stream.
+    pub faults: u64,
+}
+
+impl<R> JobOutput<R> {
+    /// A result with no metered cost or faults.
+    pub fn plain(value: R) -> Self {
+        JobOutput {
+            value,
+            cost: 0,
+            faults: 0,
+        }
+    }
+}
+
+/// Runs `run` over every item of `items` on a bounded worker pool and
+/// returns the results in submission order. `observe` sees every
+/// [`ExecEvent`] on the calling thread, serialized.
+///
+/// Panics inside `run` are caught per job ([`JobError::Panicked`]);
+/// cancellation and exhausted budgets surface as
+/// [`JobError::Cancelled`] on the jobs that never started.
+pub fn execute<T, R, F, O>(
+    config: ExecConfig,
+    items: Vec<T>,
+    run: F,
+    mut observe: O,
+) -> ExecReport<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&JobCtx<'_>, T) -> JobOutput<R> + Sync,
+    O: FnMut(&ExecEvent),
+{
+    let n = items.len();
+    let workers = config.resolved_workers(n);
+    let started_at = Instant::now();
+    let mut stats = ExecStats {
+        jobs: n,
+        workers,
+        ..ExecStats::default()
+    };
+
+    let pool = Pool {
+        config: &config,
+        run: &run,
+        next: AtomicUsize::new(0),
+        spent: AtomicU64::new(0),
+        cells: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        started_at,
+    };
+
+    for job in 0..n {
+        let ev = ExecEvent::Queued { job };
+        stats.absorb(&ev);
+        observe(&ev);
+    }
+
+    if workers <= 1 {
+        // Inline serial path: same pool code, no threads, synchronous
+        // event delivery.
+        let mut emit = |ev: ExecEvent| {
+            stats.absorb(&ev);
+            observe(&ev);
+        };
+        while pool.run_next(0, &mut emit) {}
+    } else {
+        let (tx, rx) = mpsc::channel::<ExecEvent>();
+        std::thread::scope(|s| {
+            for worker in 0..workers {
+                let tx = tx.clone();
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut emit = |ev: ExecEvent| {
+                        // A dropped receiver means the observer side is
+                        // gone; the results vector is still filled in.
+                        let _ = tx.send(ev);
+                    };
+                    while pool.run_next(worker, &mut emit) {}
+                });
+            }
+            drop(tx);
+            // Drain events on the submitting thread until every worker
+            // sender is gone; doubles as the wall-budget watchdog.
+            loop {
+                match rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(ev) => {
+                        stats.absorb(&ev);
+                        observe(&ev);
+                    }
+                    Err(RecvTimeoutError::Timeout) => pool.check_wall(),
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+    }
+
+    let results = pool
+        .slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panics while holding a slot lock")
+                .expect("every job slot is filled before the pool drains")
+        })
+        .collect();
+    stats.wall = started_at.elapsed();
+    ExecReport { results, stats }
+}
+
+/// The shared state of one batch, borrowed by every worker.
+struct Pool<'a, T, R, F> {
+    config: &'a ExecConfig,
+    run: &'a F,
+    /// Submission-order job cursor; `fetch_add` hands each worker the
+    /// next unclaimed job, so starts follow submission order.
+    next: AtomicUsize,
+    /// Cost units charged so far against the shared budget.
+    spent: AtomicU64,
+    /// One take-once cell per input item.
+    cells: Vec<Mutex<Option<T>>>,
+    /// One write-once result slot per job, in submission order.
+    slots: Vec<Mutex<Option<Result<R, JobError>>>>,
+    started_at: Instant,
+}
+
+impl<T, R, F> Pool<'_, T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&JobCtx<'_>, T) -> JobOutput<R> + Sync,
+{
+    /// Claims and runs the next queued job. Returns `false` once the
+    /// queue is empty (the worker's signal to exit).
+    fn run_next(&self, worker: usize, emit: &mut impl FnMut(ExecEvent)) -> bool {
+        let job = self.next.fetch_add(1, Ordering::Relaxed);
+        if job >= self.cells.len() {
+            return false;
+        }
+        self.check_wall();
+        if let Some(reason) = self.config.cancel.reason() {
+            self.fill(job, Err(JobError::Cancelled(reason)));
+            emit(ExecEvent::Cancelled { job, reason });
+            return true;
+        }
+        let item = self.cells[job]
+            .lock()
+            .expect("item cell poisoned")
+            .take()
+            .expect("each job claimed exactly once");
+        emit(ExecEvent::Started { job, worker });
+        let ctx = JobCtx {
+            job,
+            seed: seed_for(self.config.seed, job as u64),
+            cancel: &self.config.cancel,
+        };
+        let t0 = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| (self.run)(&ctx, item))) {
+            Ok(JobOutput {
+                value,
+                cost,
+                faults,
+            }) => {
+                self.charge(cost);
+                self.fill(job, Ok(value));
+                emit(ExecEvent::Finished {
+                    job,
+                    worker,
+                    wall: t0.elapsed(),
+                    cost,
+                    faults,
+                });
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                self.fill(job, Err(JobError::Panicked(message.clone())));
+                emit(ExecEvent::Panicked {
+                    job,
+                    worker,
+                    wall: t0.elapsed(),
+                    message,
+                });
+            }
+        }
+        true
+    }
+
+    fn fill(&self, job: usize, result: Result<R, JobError>) {
+        *self.slots[job].lock().expect("result slot poisoned") = Some(result);
+    }
+
+    /// Charges `cost` against the shared budget; the job that crosses the
+    /// line cancels the batch for everyone behind it.
+    fn charge(&self, cost: u64) {
+        let Some(max) = self.config.cost_budget.max_cost else {
+            return;
+        };
+        let spent = self.spent.fetch_add(cost, Ordering::AcqRel) + cost;
+        if spent > max {
+            self.config.cancel.trigger(CANCEL_COST);
+        }
+    }
+
+    /// Trips the wall-budget cancellation once the batch overruns.
+    fn check_wall(&self) {
+        if let Some(limit) = self.config.wall_budget {
+            if self.started_at.elapsed() > limit {
+                self.config.cancel.trigger(CANCEL_WALL);
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload (same policy as the experiment layer:
+/// `&str` and `String` pass through, anything else is described).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(jobs: usize, n: u64) -> ExecReport<u64> {
+        execute(
+            ExecConfig::with_jobs(jobs),
+            (0..n).collect(),
+            |_ctx, v| JobOutput::plain(v * v),
+            |_| {},
+        )
+    }
+
+    #[test]
+    fn results_are_in_submission_order_for_any_worker_count() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let report = squares(jobs, 50);
+            assert_eq!(report.stats.jobs, 50);
+            assert!(report.all_ok());
+            for (i, r) in report.results.iter().enumerate() {
+                assert_eq!(*r.as_ref().unwrap(), (i * i) as u64, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let serial: Vec<_> = squares(1, 40).results;
+        let parallel: Vec<_> = squares(4, 40).results;
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = squares(4, 0);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.finished, 0);
+        assert_eq!(report.stats.workers, 1);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(ExecConfig::with_jobs(8).resolved_workers(3), 3);
+        assert_eq!(ExecConfig::with_jobs(2).resolved_workers(100), 2);
+        assert_eq!(ExecConfig::serial().resolved_workers(100), 1);
+        let auto = ExecConfig::auto().resolved_workers(1000);
+        assert!(auto >= 1);
+        assert_eq!(ExecConfig::with_jobs(8).resolved_workers(0), 1);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_reported() {
+        let report = execute(
+            ExecConfig::with_jobs(4),
+            (0u64..16).collect(),
+            |_ctx, v| {
+                if v == 5 {
+                    panic!("boom at {v}");
+                }
+                JobOutput::plain(v)
+            },
+            |_| {},
+        );
+        assert_eq!(report.stats.panicked, 1);
+        assert_eq!(report.stats.finished, 15);
+        match &report.results[5] {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("boom at 5"), "{msg}"),
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        assert!(report.results[4].is_ok() && report.results[6].is_ok());
+    }
+
+    #[test]
+    fn cost_budget_cancels_the_tail_serially() {
+        // Serial pool: deterministic — each job costs 10, budget 25, so
+        // jobs 0..3 run (the third crosses the line) and the rest cancel.
+        let config = ExecConfig {
+            jobs: 1,
+            cost_budget: CostBudget::units(25),
+            ..ExecConfig::default()
+        };
+        let report = execute(
+            config,
+            (0u64..8).collect(),
+            |_ctx, v| JobOutput {
+                value: v,
+                cost: 10,
+                faults: 0,
+            },
+            |_| {},
+        );
+        assert_eq!(report.stats.finished, 3);
+        assert_eq!(report.stats.cancelled, 5);
+        assert_eq!(report.stats.cost_spent, 30);
+        for r in &report.results[3..] {
+            assert_eq!(*r, Err(JobError::Cancelled(CancelReason::CostBudget)));
+        }
+    }
+
+    #[test]
+    fn user_cancel_from_observer_stops_the_tail() {
+        let cancel = CancelToken::new();
+        let config = ExecConfig {
+            jobs: 1,
+            cancel: cancel.clone(),
+            ..ExecConfig::default()
+        };
+        let report = execute(
+            config,
+            (0u64..10).collect(),
+            |ctx, v| {
+                assert!(!ctx.cancelled() || v > 2);
+                JobOutput::plain(v)
+            },
+            |ev| {
+                if matches!(ev, ExecEvent::Finished { job: 2, .. }) {
+                    cancel.cancel();
+                }
+            },
+        );
+        assert_eq!(report.stats.finished, 3);
+        assert_eq!(report.stats.cancelled, 7);
+        assert_eq!(
+            report.results[9],
+            Err(JobError::Cancelled(CancelReason::User))
+        );
+    }
+
+    #[test]
+    fn wall_budget_trips_slow_batches() {
+        let config = ExecConfig {
+            jobs: 2,
+            wall_budget: Some(Duration::from_millis(30)),
+            ..ExecConfig::default()
+        };
+        let report = execute(
+            config,
+            (0u64..64).collect(),
+            |_ctx, v| {
+                std::thread::sleep(Duration::from_millis(5));
+                JobOutput::plain(v)
+            },
+            |_| {},
+        );
+        assert!(
+            report.stats.cancelled > 0,
+            "64 jobs x 5ms on 2 workers must overrun a 30ms wall budget: {:?}",
+            report.stats
+        );
+        // Every slot is still filled, split between finished and cancelled.
+        assert_eq!(
+            report.stats.finished + report.stats.cancelled,
+            report.stats.jobs
+        );
+    }
+
+    #[test]
+    fn events_cover_every_job_and_stats_fold_them() {
+        let mut seen_started = [false; 12];
+        let mut seen_done = [false; 12];
+        let report = execute(
+            ExecConfig::with_jobs(3),
+            (0u64..12).collect(),
+            |_ctx, v| JobOutput {
+                value: v,
+                cost: 2,
+                faults: 1,
+            },
+            |ev| match *ev {
+                ExecEvent::Started { job, .. } => seen_started[job] = true,
+                ExecEvent::Finished { job, .. } => seen_done[job] = true,
+                _ => {}
+            },
+        );
+        assert!(seen_started.iter().all(|&b| b));
+        assert!(seen_done.iter().all(|&b| b));
+        assert_eq!(report.stats.cost_spent, 24);
+        assert_eq!(report.stats.faults_injected, 12);
+        assert!(report.stats.busy <= report.stats.wall * 3 + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn seed_stream_is_pure_and_spread() {
+        assert_eq!(seed_for(1995, 0), seed_for(1995, 0));
+        assert_ne!(seed_for(1995, 0), seed_for(1995, 1));
+        assert_ne!(seed_for(1995, 0), seed_for(1996, 0));
+        assert_ne!(seed_for(1995, 0), 1995);
+        // Jobs observe exactly this stream.
+        let report = execute(
+            ExecConfig {
+                jobs: 4,
+                seed: 7,
+                ..ExecConfig::default()
+            },
+            (0u64..8).collect(),
+            |ctx, _| JobOutput::plain(ctx.seed),
+            |_| {},
+        );
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), seed_for(7, i as u64));
+        }
+    }
+
+    #[test]
+    fn cancel_reason_first_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.trigger(CANCEL_COST);
+        t.cancel();
+        assert_eq!(t.reason(), Some(CancelReason::CostBudget));
+    }
+}

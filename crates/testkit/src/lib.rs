@@ -235,6 +235,43 @@ pub mod gens {
         )
     }
 
+    /// A uniform random permutation of `0..n` for `n` drawn from `len`
+    /// (Fisher–Yates on the case's own stream). Shrinks toward the
+    /// identity permutation — first wholesale, then by squashing single
+    /// inversions — so a failing schedule-order property reports the
+    /// least-scrambled order that still fails.
+    pub fn shuffled(len: Range<usize>) -> Gen<Vec<usize>> {
+        let (min, max) = (len.start, len.end);
+        assert!(min < max, "empty length range");
+        Gen::new(
+            move |rng| {
+                let n = rng.gen_range(min..max);
+                let mut perm: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    perm.swap(i, rng.gen_range(0..i + 1));
+                }
+                perm
+            },
+            |v: &Vec<usize>| {
+                let identity: Vec<usize> = (0..v.len()).collect();
+                if *v == identity {
+                    return Vec::new();
+                }
+                let mut out = vec![identity];
+                // Undo one out-of-place element at a time.
+                for i in 0..v.len().min(8) {
+                    if v[i] != i {
+                        let mut w = v.clone();
+                        let j = w.iter().position(|&x| x == i).unwrap();
+                        w.swap(i, j);
+                        out.push(w);
+                    }
+                }
+                out
+            },
+        )
+    }
+
     macro_rules! tuple_gen {
         ($name:ident, $($g:ident: $t:ident @ $idx:tt),+) => {
             /// A tuple of independent generators; shrinks one coordinate
@@ -456,6 +493,28 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shuffled_generates_permutations_and_shrinks_toward_identity() {
+        check("shuffled_is_a_permutation", &gens::shuffled(0..12), |p| {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            let identity: Vec<usize> = (0..p.len()).collect();
+            prop_assert_eq!(&sorted, &identity);
+            Ok(())
+        });
+        let g = gens::shuffled(4..5);
+        let identity: Vec<usize> = (0..4).collect();
+        assert!(g.shrink_candidates(&identity).is_empty());
+        let scrambled = vec![3, 2, 1, 0];
+        let cands = g.shrink_candidates(&scrambled);
+        assert!(cands.contains(&identity));
+        for c in &cands {
+            let mut s = c.clone();
+            s.sort_unstable();
+            assert_eq!(s, identity, "shrink must stay a permutation: {c:?}");
+        }
+    }
 
     #[test]
     fn passing_property_runs_all_cases() {

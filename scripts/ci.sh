@@ -15,6 +15,17 @@ echo "==> cargo build --release --offline"
 cargo build --release --offline
 
 echo "==> cargo test -q --offline --workspace"
+tests_started=$SECONDS
 cargo test -q --offline --workspace
+echo "==> tests took $((SECONDS - tests_started))s"
 
-echo "==> tier-1 green"
+# Executor smoke: one real figure sweep on 2 workers. Belt and braces
+# against a hung pool: the shell kills the process after 60s, and
+# --budget-events caps each run inside the simulator (RunBudget fails a
+# runaway point typed long before the watchdog fires).
+echo "==> figures --figure F2 --size test --jobs 2 (60s watchdog)"
+timeout 60 ./target/release/figures \
+    --figure F2 --size test --procs 2,4 --jobs 2 --budget-events 50000000 \
+    > /dev/null
+
+echo "==> tier-1 green (total $((SECONDS))s)"

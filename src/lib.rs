@@ -12,6 +12,8 @@
 //!
 //! * [`desim`] — deterministic discrete-event kernel and coroutine
 //!   processes;
+//! * [`exec`] — deterministic bounded worker pool that parallelizes
+//!   independent experiments with order-preserving results;
 //! * [`topology`] — fully connected / hypercube / mesh networks and
 //!   routing;
 //! * [`net`] — the link-level circuit-switched wormhole network;
@@ -51,6 +53,7 @@ pub use spasm_apps as apps;
 pub use spasm_cache as cache;
 pub use spasm_core as core;
 pub use spasm_desim as desim;
+pub use spasm_exec as exec;
 pub use spasm_logp as logp;
 pub use spasm_machine as machine;
 pub use spasm_net as net;

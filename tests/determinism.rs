@@ -81,6 +81,78 @@ fn golden_fingerprint_full_matrix() {
     }
 }
 
+/// The executor extends the determinism claim across schedules: a sweep
+/// run on 4 workers is *byte-identical* — CSV, rendered table, and the
+/// bit patterns of every metric — to the same sweep run inline on the
+/// calling thread, healthy or under an active fault plan. Worker count
+/// is a pure throughput knob, never an input to the results.
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    use spasm::core::figures;
+    use spasm::core::sweep::{run_figure_with, SweepConfig};
+    use spasm::machine::FaultPlan;
+
+    let spec = figures::by_id("F2").expect("F2 exists");
+    let procs = [2, 4, 8];
+    let plans: [Option<FaultPlan>; 2] = [None, Some(FaultPlan::adversarial(1995))];
+    for faults in plans {
+        let serial = run_figure_with(
+            spec,
+            SizeClass::Test,
+            &procs,
+            1995,
+            SweepConfig {
+                faults,
+                jobs: 1,
+                ..SweepConfig::default()
+            },
+        );
+        let parallel = run_figure_with(
+            spec,
+            SizeClass::Test,
+            &procs,
+            1995,
+            SweepConfig {
+                faults,
+                jobs: 4,
+                ..SweepConfig::default()
+            },
+        );
+        let label = if faults.is_some() {
+            "faulted"
+        } else {
+            "healthy"
+        };
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "{label}: CSV must not depend on worker count"
+        );
+        assert_eq!(
+            serial.render_table(),
+            parallel.render_table(),
+            "{label}: rendered table must not depend on worker count"
+        );
+        for (a, b) in serial.series.iter().zip(&parallel.series) {
+            for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+                match (ma, mb) {
+                    (Some(ma), Some(mb)) => assert_eq!(
+                        fingerprint(ma),
+                        fingerprint(mb),
+                        "{label}: {} metrics must be bit-identical across schedules",
+                        a.machine
+                    ),
+                    (None, None) => {}
+                    _ => panic!(
+                        "{label}: {} point succeeded on one schedule only",
+                        a.machine
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn different_seeds_give_different_dynamic_behaviour() {
     // CHOLESKY's matrix (and so its task graph) depends on the seed.
