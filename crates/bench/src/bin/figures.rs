@@ -23,7 +23,7 @@ use spasm_bench::{parse_jobs, parse_procs, parse_size};
 use spasm_core::figures::{self, FigureSpec};
 use spasm_core::sweep::{run_figure_observed, SweepConfig};
 use spasm_exec::ExecEvent;
-use spasm_machine::RunBudget;
+use spasm_machine::{CheckMode, FaultPlan, RunBudget};
 
 struct Args {
     figures: Vec<&'static FigureSpec>,
@@ -37,6 +37,11 @@ struct Args {
     /// Per-run simulator-event budget (the engine's RunBudget), so a
     /// livelocked run fails typed instead of hanging the sweep.
     budget_events: Option<u64>,
+    /// Online invariant checking per run (`--check` / `--strict-check`).
+    check: CheckMode,
+    /// Adversarial fault plan seeded from `--faults SEED`, for proving
+    /// the checker fires on an unhealthy machine.
+    faults: Option<u64>,
     ablation: Option<String>,
 }
 
@@ -45,7 +50,8 @@ fn usage() -> ! {
         "usage: figures (--all | --figure ID | --list | --ablation g|protocol|cache) \
          [--size test|small|full] \
          [--procs 2,4,...] [--seed N] [--csv PATH] [--chart] \
-         [--jobs N|auto] [--serial] [--budget-events N]"
+         [--jobs N|auto] [--serial] [--budget-events N] \
+         [--check] [--strict-check] [--faults SEED]"
     );
     std::process::exit(2)
 }
@@ -60,6 +66,8 @@ fn parse_args() -> Args {
         chart: false,
         jobs: 0,
         budget_events: None,
+        check: CheckMode::Off,
+        faults: None,
         ablation: None,
     };
     let mut it = std::env::args().skip(1);
@@ -112,6 +120,15 @@ fn parse_args() -> Args {
             "--serial" => args.jobs = 1,
             "--budget-events" => {
                 args.budget_events = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--check" => args.check = CheckMode::On,
+            "--strict-check" => args.check = CheckMode::Strict,
+            "--faults" => {
+                args.faults = Some(
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage()),
@@ -240,6 +257,8 @@ fn main() -> ExitCode {
         budget: args
             .budget_events
             .map_or(RunBudget::UNLIMITED, RunBudget::events),
+        check: args.check,
+        faults: args.faults.map(FaultPlan::adversarial),
         ..SweepConfig::default()
     };
     let total_started = Instant::now();

@@ -207,6 +207,14 @@ impl Cache {
     pub fn resident(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
     }
+
+    /// All resident blocks with their states, in no particular order
+    /// (invariant checkers scan this; sort before comparing).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (u64, BState)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|l| (l.block, l.state)))
+    }
 }
 
 #[cfg(test)]

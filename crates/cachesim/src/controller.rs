@@ -231,6 +231,21 @@ impl CoherenceController {
         &self.dir
     }
 
+    /// Mutable view of a node's cache.
+    ///
+    /// Exists so fault-negative tests can corrupt protocol state directly
+    /// (e.g. conjure a second `Dirty` copy) and prove a checker notices.
+    /// The controller itself never needs it.
+    pub fn cache_mut(&mut self, node: usize) -> &mut Cache {
+        &mut self.caches[node]
+    }
+
+    /// Mutable view of the directory, for the same corruption tests as
+    /// [`CoherenceController::cache_mut`].
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.dir
+    }
+
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.caches.len()

@@ -98,6 +98,12 @@ impl Directory {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// All blocks with directory state, in no particular order
+    /// (invariant checkers scan this; sort before comparing).
+    pub fn blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,234 @@
+//! # spasm-check — online invariant checking for the simulator
+//!
+//! The paper's whole argument rests on the LogP/CLogP abstractions
+//! *agreeing* with the target CC-NUMA machine: the Berkeley cache state
+//! must stay coherent, the abstract network must honour its own L and g
+//! parameters, and the engine must deliver exactly what the machine
+//! models price. End-result numerics (`tests/verification.rs`) cannot
+//! see a silent violation of those properties that happens to cancel
+//! out — so this crate checks them *inside* the simulation, on every
+//! event, the way an always-on assertion layer catches silent
+//! corruption in a training stack.
+//!
+//! Three checkers, all zero-cost when disabled (the machine layer holds
+//! them as `Option` and never constructs them under
+//! [`CheckMode::Off`]):
+//!
+//! * [`CoherenceChecker`] — a global observer over the
+//!   `spasm-cache` controller asserting single-writer, directory–cache
+//!   agreement, and legal Berkeley state transitions after every
+//!   access;
+//! * [`NetChecker`] — an independent re-derivation of the LogP gap/L
+//!   rules, checked against what the abstract network actually granted;
+//! * [`EngineChecker`] — event-time monotonicity, message conservation
+//!   (every send matched by exactly the scheduled deliveries), and —
+//!   under [`CheckMode::Strict`] — conformance of every scheduled time
+//!   to the machine model's price, which is how injected faults
+//!   (delays, duplicates, stalls, retries) are *provably detected*.
+//!
+//! A failed check produces a [`CheckViolation`]: a typed value naming
+//! the invariant, with a ring buffer of the last few events for
+//! post-mortem reading. Violations never panic; the machine layer
+//! surfaces them as a typed run error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coherence;
+mod net;
+mod timing;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+pub use coherence::CoherenceChecker;
+pub use net::NetChecker;
+pub use timing::EngineChecker;
+
+/// How much invariant checking a run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckMode {
+    /// No checking, no checker state, no per-event cost (the default).
+    #[default]
+    Off,
+    /// Full invariant checking. Perturbations from an active fault plan
+    /// are *tolerated*: injected delays/duplicates are credited against
+    /// the conservation ledger instead of reported.
+    On,
+    /// Invariant checking plus strict model conformance: any deviation
+    /// between what the machine model priced and what the engine
+    /// scheduled is a violation. Under an active fault plan this is the
+    /// fault-negative mode — the checker must fire.
+    Strict,
+}
+
+impl CheckMode {
+    /// Whether any checking is performed.
+    pub fn enabled(self) -> bool {
+        self != CheckMode::Off
+    }
+
+    /// Whether model-conformance deviations (injected faults) are
+    /// violations.
+    pub fn strict(self) -> bool {
+        self == CheckMode::Strict
+    }
+
+    /// Parses "off" / "on" / "strict".
+    pub fn from_name(name: &str) -> Option<CheckMode> {
+        match name {
+            "off" => Some(CheckMode::Off),
+            "on" => Some(CheckMode::On),
+            "strict" => Some(CheckMode::Strict),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckMode::Off => "off",
+            CheckMode::On => "on",
+            CheckMode::Strict => "strict",
+        })
+    }
+}
+
+/// Number of recent events a checker retains for the violation dump.
+pub const RING_CAPACITY: usize = 16;
+
+/// A detected invariant violation: which invariant, what went wrong,
+/// and the last few events leading up to it.
+///
+/// This is a *value*, not a panic: the machine layer converts it into a
+/// typed run error so sweeps record the point as failed instead of
+/// aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    /// Stable name of the violated invariant (e.g. `"single-writer"`,
+    /// `"message-conservation"`).
+    pub invariant: &'static str,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+    /// The checker's ring buffer at the time of the violation, oldest
+    /// event first. Empty if the checker records no events.
+    pub recent: Vec<String>,
+}
+
+impl CheckViolation {
+    /// Builds a violation with the given ring dump.
+    pub fn new(invariant: &'static str, message: String, ring: &EventRing) -> Self {
+        CheckViolation {
+            invariant,
+            message,
+            recent: ring.dump(),
+        }
+    }
+}
+
+impl fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant '{}' violated: {}",
+            self.invariant, self.message
+        )?;
+        if !self.recent.is_empty() {
+            write!(f, "; last {} event(s), oldest first:", self.recent.len())?;
+            for e in &self.recent {
+                write!(f, "\n    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckViolation {}
+
+/// A fixed-capacity ring buffer of formatted events, dumped into every
+/// [`CheckViolation`] so a failure names not just the invariant but the
+/// history that led to it.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    buf: VecDeque<String>,
+}
+
+impl EventRing {
+    /// An empty ring holding up to [`RING_CAPACITY`] events.
+    pub fn new() -> Self {
+        EventRing {
+            buf: VecDeque::with_capacity(RING_CAPACITY),
+        }
+    }
+
+    /// Records one event, discarding the oldest when full.
+    pub fn record(&mut self, event: String) {
+        if self.buf.len() == RING_CAPACITY {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<String> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_and_predicates() {
+        assert_eq!(CheckMode::from_name("off"), Some(CheckMode::Off));
+        assert_eq!(CheckMode::from_name("on"), Some(CheckMode::On));
+        assert_eq!(CheckMode::from_name("strict"), Some(CheckMode::Strict));
+        assert_eq!(CheckMode::from_name("paranoid"), None);
+        assert!(!CheckMode::Off.enabled());
+        assert!(CheckMode::On.enabled() && !CheckMode::On.strict());
+        assert!(CheckMode::Strict.enabled() && CheckMode::Strict.strict());
+        assert_eq!(CheckMode::default(), CheckMode::Off);
+        for m in [CheckMode::Off, CheckMode::On, CheckMode::Strict] {
+            assert_eq!(CheckMode::from_name(&m.to_string()), Some(m));
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut r = EventRing::new();
+        assert!(r.is_empty());
+        for i in 0..RING_CAPACITY + 5 {
+            r.record(format!("e{i}"));
+        }
+        let d = r.dump();
+        assert_eq!(d.len(), RING_CAPACITY);
+        assert_eq!(r.len(), RING_CAPACITY);
+        assert_eq!(d.first().unwrap(), "e5");
+        assert_eq!(d.last().unwrap(), &format!("e{}", RING_CAPACITY + 4));
+    }
+
+    #[test]
+    fn violation_display_names_invariant_and_history() {
+        let mut ring = EventRing::new();
+        ring.record("t=0 read".into());
+        ring.record("t=30 write".into());
+        let v = CheckViolation::new("single-writer", "two owners of block 7".into(), &ring);
+        let s = v.to_string();
+        assert!(s.contains("single-writer"), "{s}");
+        assert!(s.contains("two owners of block 7"), "{s}");
+        assert!(s.contains("t=0 read"), "{s}");
+        assert!(s.contains("t=30 write"), "{s}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Independent re-derivation of the LogP network rules.
+
+use spasm_desim::SimTime;
+use spasm_logp::GapPolicy;
+
+use crate::{CheckViolation, EventRing};
+
+/// Checks every message the abstract LogP network grants against an
+/// independent re-derivation of the model's own rules:
+///
+/// * **per-node gap** — consecutive network events at a node are spaced
+///   exactly `g` apart under the configured [`GapPolicy`] (an earlier
+///   start violates the gap; a later one means the network charged
+///   contention the model does not call for);
+/// * **latency** — a message arrives exactly `L` after its granted send
+///   slot (the LogP network is contention-free once the gap is paid, so
+///   `< L` and `> L` are both violations).
+///
+/// The checker keeps its own next-free slot per node, updated from the
+/// *observed* grants so one violation does not cascade into spurious
+/// follow-ons. Because the observation point is infallible hot-path
+/// code, a violation is *latched* and polled by the machine model via
+/// [`NetChecker::take_violation`]; only the first is kept.
+///
+/// Loopback (`src == dst`) messages bypass the network and must not be
+/// observed.
+#[derive(Debug)]
+pub struct NetChecker {
+    l: SimTime,
+    g: SimTime,
+    policy: GapPolicy,
+    next_send: Vec<SimTime>,
+    next_recv: Vec<SimTime>,
+    ring: EventRing,
+    violation: Option<CheckViolation>,
+}
+
+impl NetChecker {
+    /// A checker for a `p`-node network with latency `l`, gap `g`, under
+    /// `policy`.
+    pub fn new(p: usize, l: SimTime, g: SimTime, policy: GapPolicy) -> Self {
+        NetChecker {
+            l,
+            g,
+            policy,
+            next_send: vec![SimTime::ZERO; p],
+            next_recv: vec![SimTime::ZERO; p],
+            ring: EventRing::new(),
+            violation: None,
+        }
+    }
+
+    /// Observes one granted message: requested at `at` from `src` to
+    /// `dst`, the network granted the send slot at `send_start`, arrival
+    /// at `arrive`, and the receive slot at `recv_start`.
+    pub fn observe_message(
+        &mut self,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+        send_start: SimTime,
+        arrive: SimTime,
+        recv_start: SimTime,
+    ) {
+        self.ring.record(format!(
+            "t={at} msg {src}->{dst}: send@{send_start} arrive@{arrive} recv@{recv_start}"
+        ));
+        let expected_send = at.max(self.slot(src, Kind::Send));
+        let expected_arrive = send_start + self.l;
+        let expected_recv = arrive.max(self.slot(dst, Kind::Recv));
+        // Advance the mirror from the observed grants first, so a single
+        // deviation is reported once rather than echoed by every later
+        // message at the same node.
+        self.advance(src, Kind::Send, send_start);
+        self.advance(dst, Kind::Recv, recv_start);
+        if self.violation.is_some() {
+            return;
+        }
+        if send_start != expected_send {
+            self.latch(
+                "message-gap",
+                format!(
+                    "send {src}->{dst} requested at {at} started at {send_start}, gap rules (g={}) give {expected_send}",
+                    self.g
+                ),
+            );
+        } else if arrive != expected_arrive {
+            self.latch(
+                "network-latency",
+                format!(
+                    "message {src}->{dst} sent at {send_start} arrived at {arrive}, expected exactly L={} later ({expected_arrive})",
+                    self.l
+                ),
+            );
+        } else if recv_start != expected_recv {
+            self.latch(
+                "message-gap",
+                format!(
+                    "receive of {src}->{dst} arriving at {arrive} started at {recv_start}, gap rules (g={}) give {expected_recv}",
+                    self.g
+                ),
+            );
+        }
+    }
+
+    /// The latched violation, if any; clears it.
+    pub fn take_violation(&mut self) -> Option<CheckViolation> {
+        self.violation.take()
+    }
+
+    fn slot(&self, node: usize, kind: Kind) -> SimTime {
+        match (self.policy, kind) {
+            (GapPolicy::Unified, _) => self.next_send[node].max(self.next_recv[node]),
+            (GapPolicy::PerEventType, Kind::Send) => self.next_send[node],
+            (GapPolicy::PerEventType, Kind::Recv) => self.next_recv[node],
+        }
+    }
+
+    fn advance(&mut self, node: usize, kind: Kind, start: SimTime) {
+        let next = start + self.g;
+        match (self.policy, kind) {
+            (GapPolicy::Unified, _) => {
+                self.next_send[node] = next;
+                self.next_recv[node] = next;
+            }
+            (GapPolicy::PerEventType, Kind::Send) => self.next_send[node] = next,
+            (GapPolicy::PerEventType, Kind::Recv) => self.next_recv[node] = next,
+        }
+    }
+
+    fn latch(&mut self, invariant: &'static str, message: String) {
+        self.violation = Some(CheckViolation::new(invariant, message, &self.ring));
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Send,
+    Recv,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_logp::{GapTracker, NetEvent};
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_ns(n)
+    }
+
+    /// Feeds the checker what a real GapTracker + fixed L would grant.
+    fn grant(
+        gaps: &mut GapTracker,
+        l: SimTime,
+        at: SimTime,
+        src: usize,
+        dst: usize,
+    ) -> (SimTime, SimTime, SimTime) {
+        let send = gaps.acquire(src, NetEvent::Send, at).start;
+        let arrive = send + l;
+        let recv = gaps.acquire(dst, NetEvent::Recv, arrive).start;
+        (send, arrive, recv)
+    }
+
+    #[test]
+    fn real_gap_tracker_grants_are_clean_under_both_policies() {
+        for policy in [GapPolicy::Unified, GapPolicy::PerEventType] {
+            let (l, g) = (ns(1600), ns(200));
+            let mut gaps = GapTracker::new(4, g, policy);
+            let mut chk = NetChecker::new(4, l, g, policy);
+            // Bursts from one node, crossing traffic, an idle stretch.
+            let msgs = [
+                (ns(0), 0, 1),
+                (ns(0), 0, 2),
+                (ns(50), 2, 0),
+                (ns(100), 0, 1),
+                (ns(9000), 1, 3),
+                (ns(9000), 3, 1),
+            ];
+            for (at, src, dst) in msgs {
+                let (s, a, r) = grant(&mut gaps, l, at, src, dst);
+                chk.observe_message(at, src, dst, s, a, r);
+            }
+            assert!(chk.take_violation().is_none(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn send_before_the_gap_elapses_is_caught() {
+        let (l, g) = (ns(1600), ns(200));
+        let mut chk = NetChecker::new(2, l, g, GapPolicy::Unified);
+        chk.observe_message(ns(0), 0, 1, ns(0), ns(1600), ns(1600));
+        // Second send from node 0 at t=0 must wait until 200; claim 100.
+        chk.observe_message(ns(0), 0, 1, ns(100), ns(1700), ns(1800));
+        let v = chk.take_violation().expect("violation");
+        assert_eq!(v.invariant, "message-gap");
+        assert!(v.message.contains("started at 100ns"), "{v}");
+    }
+
+    #[test]
+    fn wrong_latency_is_caught() {
+        let (l, g) = (ns(1600), ns(200));
+        let mut chk = NetChecker::new(2, l, g, GapPolicy::Unified);
+        chk.observe_message(ns(0), 0, 1, ns(0), ns(1500), ns(1500));
+        let v = chk.take_violation().expect("violation");
+        assert_eq!(v.invariant, "network-latency");
+    }
+
+    #[test]
+    fn receiver_gap_is_enforced() {
+        let (l, g) = (ns(1600), ns(1000));
+        let mut chk = NetChecker::new(3, l, g, GapPolicy::Unified);
+        // Two messages converge on node 2; the second reception must be
+        // pushed to 2600, but the feed claims it starts on arrival.
+        chk.observe_message(ns(0), 0, 2, ns(0), ns(1600), ns(1600));
+        chk.observe_message(ns(0), 1, 2, ns(0), ns(1600), ns(1600));
+        let v = chk.take_violation().expect("violation");
+        assert_eq!(v.invariant, "message-gap");
+        assert!(v.message.contains("receive"), "{v}");
+    }
+
+    #[test]
+    fn per_event_type_allows_what_unified_forbids() {
+        let (l, g) = (ns(1600), ns(500));
+        // Node 1 receives at 1600 and sends at 1700: legal only when the
+        // gap applies per event type.
+        let feed = |chk: &mut NetChecker| {
+            chk.observe_message(ns(0), 0, 1, ns(0), ns(1600), ns(1600));
+            chk.observe_message(ns(1700), 1, 0, ns(1700), ns(3300), ns(3300));
+        };
+        let mut strict = NetChecker::new(2, l, g, GapPolicy::Unified);
+        feed(&mut strict);
+        assert_eq!(
+            strict.take_violation().expect("violation").invariant,
+            "message-gap"
+        );
+        let mut relaxed = NetChecker::new(2, l, g, GapPolicy::PerEventType);
+        feed(&mut relaxed);
+        assert!(relaxed.take_violation().is_none());
+    }
+
+    #[test]
+    fn only_the_first_violation_is_latched() {
+        let (l, g) = (ns(1600), ns(200));
+        let mut chk = NetChecker::new(2, l, g, GapPolicy::Unified);
+        chk.observe_message(ns(0), 0, 1, ns(0), ns(1000), ns(1000)); // bad latency
+        chk.observe_message(ns(0), 0, 1, ns(50), ns(1650), ns(1650)); // bad gap too
+        let v = chk.take_violation().expect("violation");
+        assert_eq!(v.invariant, "network-latency");
+        assert!(chk.take_violation().is_none());
+    }
+}

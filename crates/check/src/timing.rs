@@ -1,0 +1,328 @@
+//! Engine-level timing and message-conservation checks.
+
+use std::collections::{HashMap, VecDeque};
+
+use spasm_desim::SimTime;
+
+use crate::{CheckMode, CheckViolation, EventRing};
+
+/// Watches the engine's event loop:
+///
+/// * **event-time monotonicity** — popped event times never decrease;
+/// * **message conservation** — every `Deliver` the engine processes was
+///   scheduled by a send (matched by destination, tag, and time), and at
+///   end of run every scheduled delivery has been processed;
+/// * **model conformance** (strict mode only) — the time the engine
+///   actually schedules a dispatch, access completion, or delivery at is
+///   exactly the time the machine model priced. Fault injection perturbs
+///   scheduled times *after* pricing, so under [`CheckMode::Strict`]
+///   each injected species surfaces as its own violation: a stall as
+///   `dispatch-conformance`, a delayed access as `access-conformance`,
+///   a delayed or duplicated message as `delivery-conformance` /
+///   `message-conservation`.
+///
+/// Under [`CheckMode::On`] the perturbed (post-injection) times are
+/// taken as the schedule, so a faulted run is checked for internal
+/// consistency — conservation and monotonicity still hold — without
+/// reporting the injection itself.
+#[derive(Debug)]
+pub struct EngineChecker {
+    strict: bool,
+    last: SimTime,
+    /// (dst, tag) → scheduled delivery times, in scheduling order.
+    expected: HashMap<(usize, u64), VecDeque<SimTime>>,
+    sends: u64,
+    scheduled: u64,
+    delivered: u64,
+    ring: EventRing,
+}
+
+impl EngineChecker {
+    /// A checker for one run under `mode` (which must be enabled).
+    pub fn new(mode: CheckMode) -> Self {
+        EngineChecker {
+            strict: mode.strict(),
+            last: SimTime::ZERO,
+            expected: HashMap::new(),
+            sends: 0,
+            scheduled: 0,
+            delivered: 0,
+            ring: EventRing::new(),
+        }
+    }
+
+    /// Observes one popped event at time `t`; `describe` renders it for
+    /// the ring buffer.
+    ///
+    /// # Errors
+    ///
+    /// `event-monotonicity` if `t` precedes the previous event.
+    pub fn on_event(
+        &mut self,
+        t: SimTime,
+        describe: impl FnOnce() -> String,
+    ) -> Result<(), CheckViolation> {
+        self.ring.record(format!("t={t} {}", describe()));
+        if t < self.last {
+            return Err(self.violation(
+                "event-monotonicity",
+                format!("event at {t} popped after an event at {}", self.last),
+            ));
+        }
+        self.last = t;
+        Ok(())
+    }
+
+    /// Observes a processor's next request being scheduled: the body asked
+    /// to proceed at `requested` (= now) and the engine scheduled the
+    /// dispatch at `scheduled` (≠ only under an injected stall).
+    ///
+    /// # Errors
+    ///
+    /// `dispatch-conformance` in strict mode when the times differ.
+    pub fn on_dispatch(
+        &mut self,
+        proc: usize,
+        requested: SimTime,
+        scheduled: SimTime,
+    ) -> Result<(), CheckViolation> {
+        if self.strict && scheduled != requested {
+            return Err(self.violation(
+                "dispatch-conformance",
+                format!(
+                    "processor {proc} requested dispatch at {requested} but was scheduled at {scheduled}"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Observes a priced memory access: the model said it completes at
+    /// `model_finish`; the engine will commit it at `scheduled` (≠ only
+    /// under injected retries/delays).
+    ///
+    /// # Errors
+    ///
+    /// `access-conformance` in strict mode when the times differ.
+    pub fn on_access(
+        &mut self,
+        proc: usize,
+        model_finish: SimTime,
+        scheduled: SimTime,
+    ) -> Result<(), CheckViolation> {
+        if self.strict && scheduled != model_finish {
+            return Err(self.violation(
+                "access-conformance",
+                format!(
+                    "processor {proc}'s access was priced to finish at {model_finish} but was scheduled at {scheduled}"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Observes a send: the model priced delivery at `model_delivered`;
+    /// the engine schedules `copies` deliveries at `scheduled`.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, `message-conservation` when `copies != 1` and
+    /// `delivery-conformance` when the scheduled time deviates from the
+    /// priced one.
+    pub fn on_send(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        model_delivered: SimTime,
+        scheduled: SimTime,
+        copies: u64,
+    ) -> Result<(), CheckViolation> {
+        self.sends += 1;
+        self.scheduled += copies;
+        for _ in 0..copies {
+            self.expected
+                .entry((dst, tag))
+                .or_default()
+                .push_back(scheduled);
+        }
+        if self.strict && copies != 1 {
+            return Err(self.violation(
+                "message-conservation",
+                format!("one send to node {dst} (tag {tag}) scheduled {copies} deliveries"),
+            ));
+        }
+        if self.strict && scheduled != model_delivered {
+            return Err(self.violation(
+                "delivery-conformance",
+                format!(
+                    "message to node {dst} (tag {tag}) was priced to arrive at {model_delivered} but was scheduled at {scheduled}"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Observes a `Deliver` event being processed at `at`, matching it
+    /// against a scheduled delivery for the same destination and tag.
+    ///
+    /// Deliveries to one `(dst, tag)` pair may be processed out of
+    /// scheduling order (the event queue orders by time, sends by issue),
+    /// so the match is by time anywhere in the pending queue, not FIFO.
+    ///
+    /// # Errors
+    ///
+    /// `message-conservation` when no scheduled delivery matches.
+    pub fn on_deliver(&mut self, dst: usize, tag: u64, at: SimTime) -> Result<(), CheckViolation> {
+        let matched = self
+            .expected
+            .get_mut(&(dst, tag))
+            .and_then(|q| q.iter().position(|&t| t == at).map(|i| q.remove(i)))
+            .is_some();
+        if !matched {
+            return Err(self.violation(
+                "message-conservation",
+                format!("delivery to node {dst} (tag {tag}) at {at} matches no scheduled send"),
+            ));
+        }
+        self.delivered += 1;
+        Ok(())
+    }
+
+    /// End-of-run ledger: every scheduled delivery was processed and the
+    /// checker's send count agrees with the injector's duplicate count.
+    ///
+    /// # Errors
+    ///
+    /// `message-conservation` on any imbalance.
+    pub fn on_run_end(&mut self, injected_duplicates: u64) -> Result<(), CheckViolation> {
+        let undelivered: u64 = self.expected.values().map(|q| q.len() as u64).sum();
+        if undelivered > 0 {
+            let mut keys: Vec<(usize, u64)> = self
+                .expected
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+                .collect();
+            keys.sort_unstable();
+            return Err(self.violation(
+                "message-conservation",
+                format!("{undelivered} scheduled deliveries never processed (dst, tag): {keys:?}"),
+            ));
+        }
+        if self.delivered != self.scheduled || self.scheduled != self.sends + injected_duplicates {
+            return Err(self.violation(
+                "message-conservation",
+                format!(
+                    "ledger imbalance: {} sends + {injected_duplicates} injected duplicates, {} scheduled, {} delivered",
+                    self.sends, self.scheduled, self.delivered
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn violation(&self, invariant: &'static str, message: String) -> CheckViolation {
+        CheckViolation::new(invariant, message, &self.ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_ns(n)
+    }
+
+    #[test]
+    fn clean_send_deliver_cycle_balances() {
+        let mut c = EngineChecker::new(CheckMode::Strict);
+        c.on_event(ns(0), || "dispatch send".into()).unwrap();
+        c.on_send(1, 7, ns(1600), ns(1600), 1).unwrap();
+        c.on_event(ns(1600), || "deliver".into()).unwrap();
+        c.on_deliver(1, 7, ns(1600)).unwrap();
+        c.on_run_end(0).unwrap();
+    }
+
+    #[test]
+    fn time_going_backwards_is_caught() {
+        let mut c = EngineChecker::new(CheckMode::On);
+        c.on_event(ns(100), || "a".into()).unwrap();
+        let v = c.on_event(ns(50), || "b".into()).unwrap_err();
+        assert_eq!(v.invariant, "event-monotonicity");
+        assert!(
+            v.recent.iter().any(|e| e.contains("t=50ns")),
+            "{:?}",
+            v.recent
+        );
+    }
+
+    #[test]
+    fn duplicate_is_a_conservation_violation_in_strict_mode() {
+        let mut c = EngineChecker::new(CheckMode::Strict);
+        let v = c.on_send(2, 0, ns(100), ns(100), 2).unwrap_err();
+        assert_eq!(v.invariant, "message-conservation");
+    }
+
+    #[test]
+    fn duplicate_is_tolerated_and_balanced_in_lenient_mode() {
+        let mut c = EngineChecker::new(CheckMode::On);
+        c.on_send(2, 0, ns(100), ns(100), 2).unwrap();
+        c.on_deliver(2, 0, ns(100)).unwrap();
+        c.on_deliver(2, 0, ns(100)).unwrap();
+        c.on_run_end(1).unwrap();
+    }
+
+    #[test]
+    fn delayed_message_is_a_delivery_conformance_violation_in_strict_mode() {
+        let mut c = EngineChecker::new(CheckMode::Strict);
+        let v = c.on_send(1, 0, ns(100), ns(250), 1).unwrap_err();
+        assert_eq!(v.invariant, "delivery-conformance");
+        // Lenient mode takes the perturbed schedule as truth.
+        let mut c = EngineChecker::new(CheckMode::On);
+        c.on_send(1, 0, ns(100), ns(250), 1).unwrap();
+        c.on_deliver(1, 0, ns(250)).unwrap();
+        c.on_run_end(0).unwrap();
+    }
+
+    #[test]
+    fn stall_and_access_delay_are_strict_violations() {
+        let mut c = EngineChecker::new(CheckMode::Strict);
+        let v = c.on_dispatch(3, ns(10), ns(40)).unwrap_err();
+        assert_eq!(v.invariant, "dispatch-conformance");
+        let v = c.on_access(3, ns(300), ns(900)).unwrap_err();
+        assert_eq!(v.invariant, "access-conformance");
+        let mut c = EngineChecker::new(CheckMode::On);
+        c.on_dispatch(3, ns(10), ns(40)).unwrap();
+        c.on_access(3, ns(300), ns(900)).unwrap();
+    }
+
+    #[test]
+    fn unmatched_delivery_is_caught() {
+        let mut c = EngineChecker::new(CheckMode::On);
+        let v = c.on_deliver(0, 9, ns(10)).unwrap_err();
+        assert_eq!(v.invariant, "message-conservation");
+        assert!(v.message.contains("matches no scheduled send"), "{v}");
+    }
+
+    #[test]
+    fn out_of_order_deliveries_on_one_tag_still_match() {
+        // Send A scheduled late, send B scheduled early: the queue pops B
+        // first. Matching is by time, not FIFO.
+        let mut c = EngineChecker::new(CheckMode::Strict);
+        c.on_send(0, 5, ns(400), ns(400), 1).unwrap();
+        c.on_send(0, 5, ns(200), ns(200), 1).unwrap();
+        c.on_deliver(0, 5, ns(200)).unwrap();
+        c.on_deliver(0, 5, ns(400)).unwrap();
+        c.on_run_end(0).unwrap();
+    }
+
+    #[test]
+    fn lost_message_is_caught_at_run_end() {
+        let mut c = EngineChecker::new(CheckMode::On);
+        c.on_send(1, 7, ns(100), ns(100), 1).unwrap();
+        let v = c.on_run_end(0).unwrap_err();
+        assert_eq!(v.invariant, "message-conservation");
+        assert!(v.message.contains("never processed"), "{v}");
+    }
+}

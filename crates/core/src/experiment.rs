@@ -234,6 +234,10 @@ pub struct RunMetrics {
     /// Fraction of network messages that crossed the bisection (target
     /// machine only; 0 on the abstracted machines).
     pub crossing_fraction: f64,
+    /// Cache hits summed over nodes (0 on the cache-less machines).
+    pub cache_hits: u64,
+    /// Cache misses summed over nodes (0 on the cache-less machines).
+    pub cache_misses: u64,
     /// Faults injected during the run, all classes summed (0 without an
     /// active fault plan).
     pub faults_injected: u64,
@@ -307,6 +311,8 @@ fn metrics_of(report: &spasm_machine::RunReport) -> RunMetrics {
         bytes: report.summary.net_bytes,
         events: report.events,
         crossing_fraction: report.summary.crossing_fraction(),
+        cache_hits: report.summary.cache_hits,
+        cache_misses: report.summary.cache_misses,
         faults_injected: report.faults.total(),
         wall: report.wall,
     }

@@ -15,7 +15,7 @@
 
 use spasm_apps::SizeClass;
 use spasm_exec::{execute, CostBudget, ExecConfig, ExecEvent, JobOutput};
-use spasm_machine::{FaultPlan, RunBudget};
+use spasm_machine::{CheckMode, FaultPlan, RunBudget};
 
 use crate::figures::{FigureSpec, Metric};
 use crate::{Experiment, ExperimentError, Machine, RunMetrics};
@@ -96,6 +96,10 @@ pub struct SweepConfig {
     /// set this only as a safety valve, not in determinism-sensitive
     /// sweeps.
     pub total_events: Option<u64>,
+    /// Online invariant checking applied to every run. A violated
+    /// invariant fails the point (never retried — the checkers are
+    /// deterministic) without failing the figure.
+    pub check: CheckMode,
 }
 
 impl Default for SweepConfig {
@@ -106,6 +110,7 @@ impl Default for SweepConfig {
             max_attempts: 3,
             jobs: 1,
             total_events: None,
+            check: CheckMode::Off,
         }
     }
 }
@@ -280,6 +285,7 @@ fn run_point(
         attempts += 1;
         let mut config = machine.config();
         config.budget = sweep.budget;
+        config.check = sweep.check;
         config.faults = sweep.faults.map(|f| FaultPlan {
             seed: retry_seed(f.seed, attempts),
             ..f

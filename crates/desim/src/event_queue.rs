@@ -27,6 +27,8 @@ use crate::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    popped: u64,
+    last_popped: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -63,6 +65,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            popped: 0,
+            last_popped: None,
         }
     }
 
@@ -75,7 +79,11 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.heap.pop().map(|e| {
+            self.popped += 1;
+            self.last_popped = Some(e.time);
+            (e.time, e.event)
+        })
     }
 
     /// Returns the timestamp of the earliest event without removing it.
@@ -96,6 +104,19 @@ impl<E> EventQueue<E> {
     /// Total number of events ever pushed (a simulator "event count" metric).
     pub fn pushed(&self) -> u64 {
         self.seq
+    }
+
+    /// Total number of events ever popped. Invariant checkers compare this
+    /// against [`EventQueue::pushed`] at end of run: a drained queue must
+    /// have popped exactly what was pushed.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Timestamp of the most recently popped event, if any — the queue-side
+    /// record of the simulation clock, for monotonicity checks.
+    pub fn last_popped(&self) -> Option<SimTime> {
+        self.last_popped
     }
 
     /// Removes all pending events.
@@ -161,6 +182,24 @@ mod tests {
         q.push(SimTime::ZERO, ());
         q.pop();
         assert_eq!(q.pushed(), 2);
+    }
+
+    #[test]
+    fn popped_and_last_popped_track_consumption() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.popped(), 0);
+        assert_eq!(q.last_popped(), None);
+        q.push(SimTime::from_ns(10), 'a');
+        q.push(SimTime::from_ns(20), 'b');
+        q.pop();
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.last_popped(), Some(SimTime::from_ns(10)));
+        q.pop();
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.last_popped(), Some(SimTime::from_ns(20)));
+        assert_eq!(q.popped(), q.pushed());
+        q.pop();
+        assert_eq!(q.popped(), 2); // empty pop does not count
     }
 
     #[test]

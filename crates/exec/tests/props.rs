@@ -5,7 +5,10 @@
 
 use std::time::Duration;
 
-use spasm_exec::{execute, seed_for, ExecConfig, ExecEvent, JobError, JobOutput};
+use spasm_exec::{
+    execute, seed_for, CancelReason, CancelToken, CostBudget, ExecConfig, ExecEvent, JobError,
+    JobOutput,
+};
 use spasm_testkit::{check, gens, prop_assert, prop_assert_eq};
 
 #[test]
@@ -133,6 +136,214 @@ fn event_stream_is_complete_and_consistent() {
             prop_assert_eq!(report.stats.cost_spent, 3 * *n as u64);
             prop_assert_eq!(report.stats.faults_injected, 2 * *n as u64);
             prop_assert_eq!(report.stats.finished, *n);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn budget_exhausted_exactly_at_job_boundary() {
+    // The budget cancels only when spent strictly exceeds the cap, so a
+    // budget of exactly k jobs' cost lets job k+1 start (it is the one
+    // whose charge crosses the line) and cancels everything after it:
+    // serially, exactly min(n, k+1) jobs finish, the rest are typed
+    // `Cancelled(CostBudget)`, in submission order.
+    check(
+        "exec_budget_boundary",
+        &gens::tuple3(gens::u64s(1..6), gens::usizes(1..20), gens::usizes(0..24)),
+        |&(cost, n, k)| {
+            let report = execute(
+                ExecConfig {
+                    jobs: 1,
+                    cost_budget: CostBudget::units(cost * k as u64),
+                    ..ExecConfig::default()
+                },
+                (0..n).collect::<Vec<usize>>(),
+                |_ctx, v| JobOutput {
+                    value: v,
+                    cost,
+                    faults: 0,
+                },
+                |_| {},
+            );
+            let expect = n.min(k + 1);
+            prop_assert_eq!(report.stats.finished, expect);
+            prop_assert_eq!(report.stats.cancelled, n - expect);
+            for (i, r) in report.results.iter().enumerate() {
+                if i < expect {
+                    prop_assert_eq!(r.as_ref().unwrap(), &i);
+                } else {
+                    prop_assert!(
+                        matches!(r, Err(JobError::Cancelled(CancelReason::CostBudget))),
+                        "job {i}: {r:?}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_budget_still_runs_at_least_the_boundary_jobs() {
+    // In parallel the set of finished jobs is schedule-dependent (jobs
+    // already running when the budget trips complete and are kept), but
+    // the trip itself needs more than k jobs' cost charged — so at
+    // least min(n, k+1) finish, and every slot is either a kept result
+    // or a typed cost-budget cancellation.
+    check(
+        "exec_budget_parallel",
+        &gens::tuple3(gens::usizes(2..6), gens::usizes(1..20), gens::usizes(0..10)),
+        |&(workers, n, k)| {
+            let report = execute(
+                ExecConfig {
+                    jobs: workers,
+                    cost_budget: CostBudget::units(k as u64),
+                    ..ExecConfig::default()
+                },
+                (0..n).collect::<Vec<usize>>(),
+                |_ctx, v| JobOutput {
+                    value: v,
+                    cost: 1,
+                    faults: 0,
+                },
+                |_| {},
+            );
+            prop_assert!(
+                report.stats.finished >= n.min(k + 1),
+                "finished {} < min({n}, {})",
+                report.stats.finished,
+                k + 1
+            );
+            for (i, r) in report.results.iter().enumerate() {
+                match r {
+                    Ok(v) => prop_assert_eq!(v, &i),
+                    Err(JobError::Cancelled(CancelReason::CostBudget)) => {}
+                    other => return Err(format!("job {i}: unexpected {other:?}")),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn cancel_raced_with_the_last_job_changes_nothing_serially() {
+    // A cancellation issued from inside the final job arrives after
+    // every other job already completed and while the canceller itself
+    // is running — running jobs always complete and keep their results,
+    // so the batch is indistinguishable from an uncancelled one except
+    // for the latched reason.
+    check("exec_cancel_last_job", &gens::usizes(1..16), |&n| {
+        let token = CancelToken::new();
+        let inner = token.clone();
+        let report = execute(
+            ExecConfig {
+                jobs: 1,
+                cancel: token.clone(),
+                ..ExecConfig::default()
+            },
+            (0..n).collect::<Vec<usize>>(),
+            move |ctx, v| {
+                if ctx.job == n - 1 {
+                    inner.cancel();
+                }
+                JobOutput::plain(v)
+            },
+            |_| {},
+        );
+        prop_assert_eq!(report.stats.finished, n);
+        prop_assert_eq!(report.stats.cancelled, 0);
+        prop_assert_eq!(token.reason(), Some(CancelReason::User));
+        for (i, r) in report.results.iter().enumerate() {
+            prop_assert_eq!(r.as_ref().unwrap(), &i);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn mid_batch_cancel_keeps_the_canceller_and_types_the_rest() {
+    // Cancel issued from an arbitrary job in a parallel batch: the
+    // canceller always keeps its own result (it was running), and every
+    // other slot is either a kept result or `Cancelled(User)` — never a
+    // panic, never a missing slot.
+    check(
+        "exec_cancel_races",
+        &gens::tuple3(gens::usizes(2..6), gens::usizes(1..16), gens::usizes(0..16)),
+        |&(workers, n, who)| {
+            let who = who % n;
+            let token = CancelToken::new();
+            let inner = token.clone();
+            let report = execute(
+                ExecConfig {
+                    jobs: workers,
+                    cancel: token.clone(),
+                    ..ExecConfig::default()
+                },
+                (0..n).collect::<Vec<usize>>(),
+                move |ctx, v| {
+                    if ctx.job == who {
+                        inner.cancel();
+                    }
+                    JobOutput::plain(v)
+                },
+                |_| {},
+            );
+            prop_assert_eq!(report.stats.finished + report.stats.cancelled, n);
+            prop_assert_eq!(report.results[who].as_ref().unwrap(), &who);
+            for (i, r) in report.results.iter().enumerate() {
+                match r {
+                    Ok(v) => prop_assert_eq!(v, &i),
+                    Err(JobError::Cancelled(CancelReason::User)) => {}
+                    other => return Err(format!("job {i}: unexpected {other:?}")),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn first_cancellation_reason_wins_over_a_simultaneous_budget_trip() {
+    // A user cancel from inside job 0 lands before that job's cost is
+    // charged against an already-exhausted budget: the latched reason —
+    // and every cancelled job's error — must say `User`, not
+    // `CostBudget`.
+    check(
+        "exec_cancel_reason_race",
+        &gens::tuple2(gens::u64s(1..6), gens::usizes(2..12)),
+        |&(cost, n)| {
+            let token = CancelToken::new();
+            let inner = token.clone();
+            let report = execute(
+                ExecConfig {
+                    jobs: 1,
+                    cancel: token.clone(),
+                    cost_budget: CostBudget::units(0),
+                    ..ExecConfig::default()
+                },
+                (0..n).collect::<Vec<usize>>(),
+                move |ctx, v| {
+                    if ctx.job == 0 {
+                        inner.cancel();
+                    }
+                    JobOutput {
+                        value: v,
+                        cost,
+                        faults: 0,
+                    }
+                },
+                |_| {},
+            );
+            prop_assert_eq!(token.reason(), Some(CancelReason::User));
+            prop_assert_eq!(report.stats.finished, 1);
+            for r in &report.results[1..] {
+                prop_assert!(
+                    matches!(r, Err(JobError::Cancelled(CancelReason::User))),
+                    "{r:?}"
+                );
+            }
             Ok(())
         },
     );

@@ -5,6 +5,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use spasm_cache::AccessKind;
+use spasm_check::{CheckViolation, EngineChecker};
 use spasm_desim::{CoroCtx, CoroPool, EventQueue, SimTime, Step};
 use spasm_topology::{Topology, TopologyError};
 
@@ -67,6 +68,10 @@ pub enum RunError {
         /// What was wrong with the request.
         message: String,
     },
+    /// An online invariant checker detected a violation (only possible
+    /// when the run's [`MachineConfig`] enables a
+    /// [`spasm_check::CheckMode`]).
+    Check(CheckViolation),
 }
 
 impl fmt::Display for RunError {
@@ -91,6 +96,7 @@ impl fmt::Display for RunError {
             RunError::BadRequest { proc, message } => {
                 write!(f, "processor {proc} issued a bad request: {message}")
             }
+            RunError::Check(violation) => write!(f, "{violation}"),
         }
     }
 }
@@ -106,6 +112,12 @@ impl From<UnallocatedAddress> for RunError {
 impl From<TopologyError> for RunError {
     fn from(error: TopologyError) -> Self {
         RunError::Route { error }
+    }
+}
+
+impl From<CheckViolation> for RunError {
+    fn from(violation: CheckViolation) -> Self {
+        RunError::Check(violation)
     }
 }
 
@@ -205,6 +217,7 @@ pub struct Engine {
     now: SimTime,
     budget: RunBudget,
     injector: Option<FaultInjector>,
+    checker: Option<EngineChecker>,
     processed: u64,
 }
 
@@ -270,6 +283,10 @@ impl Engine {
                 .faults
                 .filter(|f| f.is_active())
                 .map(FaultInjector::new),
+            checker: config
+                .check
+                .enabled()
+                .then(|| EngineChecker::new(config.check)),
             processed: 0,
         }
     }
@@ -305,6 +322,12 @@ impl Engine {
                     events: self.processed,
                 });
             }
+            if let Some(chk) = &mut self.checker {
+                chk.on_event(t, || format!("{ev:?}"))?;
+                if let Ev::Deliver { dst, tag, .. } = &ev {
+                    chk.on_deliver(*dst, *tag, t)?;
+                }
+            }
             match ev {
                 Ev::Dispatch(proc, req) => self.dispatch(proc, req)?,
                 Ev::Commit(proc, action) => self.commit(proc, action)?,
@@ -329,6 +352,24 @@ impl Engine {
                 at: self.now,
                 waiting,
             });
+        }
+        if let Some(chk) = &mut self.checker {
+            let duplicates = self.injector.as_ref().map_or(0, |i| i.counters.duplicated);
+            chk.on_run_end(duplicates)?;
+            if self.events.popped() != self.events.pushed() {
+                return Err(RunError::Check(CheckViolation {
+                    invariant: "event-accounting",
+                    message: format!(
+                        "drained queue popped {} of {} pushed events",
+                        self.events.popped(),
+                        self.events.pushed()
+                    ),
+                    recent: Vec::new(),
+                }));
+            }
+            if let Some(v) = self.model.final_check() {
+                return Err(v.into());
+            }
         }
         let mut totals = Buckets::default();
         let mut exec_time = SimTime::ZERO;
@@ -408,6 +449,7 @@ impl Engine {
                 let cost = self.model.msg_send(self.now, proc, dst, bytes)?;
                 self.stats[proc].buckets.add(&cost.buckets);
                 let mut delivered = cost.delivered;
+                let mut copies = 1u64;
                 if let Some(inj) = &mut self.injector {
                     if let Some(delay) = inj.message_delay() {
                         delivered += delay;
@@ -415,12 +457,17 @@ impl Engine {
                     if inj.duplicate() {
                         // The copy trails the original on the same tag;
                         // FIFO mailboxes keep the order deterministic.
-                        self.events.push(delivered, Ev::Deliver { dst, tag, value });
+                        copies = 2;
                     }
+                }
+                if let Some(chk) = &mut self.checker {
+                    chk.on_send(dst, tag, cost.delivered, delivered, copies)?;
                 }
                 self.events
                     .push(cost.sender_free, Ev::Commit(proc, Action::Sent));
-                self.events.push(delivered, Ev::Deliver { dst, tag, value });
+                for _ in 0..copies {
+                    self.events.push(delivered, Ev::Deliver { dst, tag, value });
+                }
             }
             MemReq::Recv { tag } => {
                 if let Some(value) = self
@@ -462,6 +509,7 @@ impl Engine {
             });
         }
         let mut cost = self.model.access(self.now, proc, addr, &self.amap, kind)?;
+        let model_finish = cost.finish;
         // Injected adversity on network-touching transactions. The retry
         // re-pays the whole transaction (a NACKed requester re-arbitrates
         // from scratch); the delay models slow links. Both are charged to
@@ -478,6 +526,9 @@ impl Engine {
                     cost.buckets.contention += delay;
                 }
             }
+        }
+        if let Some(chk) = &mut self.checker {
+            chk.on_access(proc, model_finish, cost.finish)?;
         }
         self.stats[proc].buckets.add(&cost.buckets);
         if let Some(label) = self.amap.label_of(addr) {
@@ -585,6 +636,9 @@ impl Engine {
                         self.stats[proc].buckets.sync += stall;
                         at += stall;
                     }
+                }
+                if let Some(chk) = &mut self.checker {
+                    chk.on_dispatch(proc, self.now, at)?;
                 }
                 self.events.push(at, Ev::Dispatch(proc, req));
                 Ok(())

@@ -78,6 +78,7 @@ pub use faults::{FaultCounters, FaultPlan, RunBudget};
 pub use models::{MachineConfig, MachineKind, Model};
 pub use ops::{MemCtx, MemReq, MemResp, Pred, RmwOp};
 pub use setup::SetupCtx;
+pub use spasm_check::{CheckMode, CheckViolation};
 pub use stats::{Buckets, ProcStats};
 pub use store::ValueStore;
 

@@ -1,5 +1,6 @@
 //! The LogP-abstracted network shared by the LogP and CLogP machines.
 
+use spasm_check::{CheckViolation, NetChecker};
 use spasm_desim::SimTime;
 use spasm_logp::{GapTracker, LogPParams, NetEvent};
 use spasm_topology::Topology;
@@ -28,6 +29,11 @@ pub struct AbstractNet {
     bytes: u64,
     latency: SimTime,
     contention: SimTime,
+    /// Conformance checker (only under an enabled `CheckMode`). Message
+    /// granting is infallible hot-path code, so a detected violation is
+    /// latched here and polled by the owning model at its next fallible
+    /// boundary via [`AbstractNet::take_violation`].
+    checker: Option<NetChecker>,
 }
 
 impl AbstractNet {
@@ -42,6 +48,10 @@ impl AbstractNet {
             bytes: 0,
             latency: SimTime::ZERO,
             contention: SimTime::ZERO,
+            checker: config
+                .check
+                .enabled()
+                .then(|| NetChecker::new(topo.nodes(), params.l, params.g, config.gap_policy)),
         }
     }
 
@@ -87,7 +97,16 @@ impl AbstractNet {
         self.bytes += DATA_BYTES;
         self.latency += self.params.l;
         self.contention += send.waited + recv.waited;
+        if let Some(chk) = &mut self.checker {
+            chk.observe_message(at, src, dst, send.start, arrive, recv.start);
+        }
         (send.start, recv.start)
+    }
+
+    /// The first network-conformance violation latched since the last
+    /// poll, if any.
+    pub fn take_violation(&mut self) -> Option<CheckViolation> {
+        self.checker.as_mut().and_then(NetChecker::take_violation)
     }
 
     /// A request/response pair `src → dst → src`; returns completion time.

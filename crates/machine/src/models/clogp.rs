@@ -1,6 +1,7 @@
 //! The CLogP machine: LogP plus an ideal coherent cache.
 
-use spasm_cache::{AccessKind, CoherenceController, Outcome};
+use spasm_cache::{AccessKind, CoherenceController, Outcome, ProtocolKind};
+use spasm_check::{CheckViolation, CoherenceChecker};
 use spasm_desim::SimTime;
 use spasm_topology::Topology;
 
@@ -32,6 +33,8 @@ use super::{AbstractNet, Cost, MachineConfig, ModelSummary};
 pub struct CLogPModel {
     net: AbstractNet,
     coherence: CoherenceController,
+    /// Coherence-invariant observer (only under an enabled `CheckMode`).
+    checker: Option<CoherenceChecker>,
 }
 
 impl CLogPModel {
@@ -39,7 +42,13 @@ impl CLogPModel {
     pub fn new(topo: &Topology, config: MachineConfig) -> Self {
         CLogPModel {
             net: AbstractNet::new(topo, &config),
+            // The ideal cache always runs Berkeley transitions, whatever
+            // protocol the target is configured with.
             coherence: CoherenceController::new(topo.nodes(), config.cache),
+            checker: config
+                .check
+                .enabled()
+                .then(|| CoherenceChecker::new(topo.nodes(), ProtocolKind::Berkeley)),
         }
     }
 
@@ -59,7 +68,11 @@ impl CLogPModel {
     ) -> Result<Cost, RunError> {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(CYCLE_NS);
-        let finish = match self.coherence.access(proc, addr.block(), kind) {
+        let outcome = self.coherence.access(proc, addr.block(), kind);
+        if let Some(chk) = &mut self.checker {
+            chk.after_access(&self.coherence, at, proc, addr.block(), kind, &outcome)?;
+        }
+        let finish = match outcome {
             // Present with sufficient rights, or upgradable for free:
             // coherence actions cost nothing on this machine.
             Outcome::Hit | Outcome::UpgradeHit { .. } => {
@@ -83,7 +96,20 @@ impl CLogPModel {
                 finish
             }
         };
+        if let Some(v) = self.net.take_violation() {
+            return Err(v.into());
+        }
         Ok(Cost { finish, buckets })
+    }
+
+    /// End-of-run invariant sweep: any latched network violation, then a
+    /// full coherence-state consistency scan.
+    pub fn final_check(&mut self) -> Option<CheckViolation> {
+        if let Some(v) = self.net.take_violation() {
+            return Some(v);
+        }
+        let chk = self.checker.as_ref()?;
+        chk.verify_all(&self.coherence).err()
     }
 
     /// The derived LogP parameters in force.

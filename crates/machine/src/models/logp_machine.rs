@@ -53,6 +53,9 @@ impl LogPModel {
         } else {
             self.net.round_trip(at, proc, home, &mut buckets)
         };
+        if let Some(v) = self.net.take_violation() {
+            return Err(v.into());
+        }
         Ok(Cost { finish, buckets })
     }
 

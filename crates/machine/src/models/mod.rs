@@ -9,6 +9,7 @@ mod target;
 pub(crate) use abstract_net::AbstractNet;
 
 use spasm_cache::{AccessKind, CacheConfig, ProtocolKind};
+use spasm_check::{CheckMode, CheckViolation};
 use spasm_desim::SimTime;
 use spasm_logp::GapPolicy;
 use spasm_topology::Topology;
@@ -68,6 +69,10 @@ pub struct MachineConfig {
     pub faults: Option<FaultPlan>,
     /// Bounds on the run (events / simulated time). Unlimited by default.
     pub budget: RunBudget,
+    /// How much online invariant checking the run performs. Off (the
+    /// default) constructs no checker state and adds no per-event cost;
+    /// see [`CheckMode`] for the lenient/strict distinction.
+    pub check: CheckMode,
 }
 
 impl Default for MachineConfig {
@@ -79,6 +84,7 @@ impl Default for MachineConfig {
             protocol: ProtocolKind::Berkeley,
             faults: None,
             budget: RunBudget::UNLIMITED,
+            check: CheckMode::Off,
         }
     }
 }
@@ -161,11 +167,7 @@ impl Model {
     pub fn new(kind: MachineKind, topo: &Topology, config: MachineConfig) -> Self {
         match kind {
             MachineKind::Pram => Model::Pram(PramModel::new()),
-            MachineKind::Target => Model::Target(TargetModel::with_protocol(
-                topo.clone(),
-                config.cache,
-                config.protocol,
-            )),
+            MachineKind::Target => Model::Target(TargetModel::with_config(topo.clone(), config)),
             MachineKind::LogP => Model::LogP(LogPModel::new(topo, config)),
             MachineKind::CLogP => Model::CLogP(CLogPModel::new(topo, config)),
         }
@@ -232,6 +234,9 @@ impl Model {
             Model::Target(m) => m.msg_send(at, src, dst, bytes)?,
             Model::LogP(m) => {
                 let (slot, delivered) = m.net_mut().message_timed(at, src, dst, &mut buckets);
+                if let Some(v) = m.net_mut().take_violation() {
+                    return Err(v.into());
+                }
                 MsgCost {
                     sender_free: slot.max(at + cycle),
                     delivered,
@@ -240,6 +245,9 @@ impl Model {
             }
             Model::CLogP(m) => {
                 let (slot, delivered) = m.net_mut().message_timed(at, src, dst, &mut buckets);
+                if let Some(v) = m.net_mut().take_violation() {
+                    return Err(v.into());
+                }
                 MsgCost {
                     sender_free: slot.max(at + cycle),
                     delivered,
@@ -247,6 +255,18 @@ impl Model {
                 }
             }
         })
+    }
+
+    /// End-of-run invariant sweep: a full coherence-state consistency scan
+    /// on the cached machines plus a final poll of any latched network
+    /// violation. `None` when everything (or nothing — checks off) holds.
+    pub fn final_check(&mut self) -> Option<CheckViolation> {
+        match self {
+            Model::Pram(_) => None,
+            Model::Target(m) => m.final_check(),
+            Model::LogP(m) => m.net_mut().take_violation(),
+            Model::CLogP(m) => m.final_check(),
+        }
     }
 
     /// Whether `WaitUntil` must poll (re-issue reads) rather than idle

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use spasm_cache::{AccessKind, CacheConfig, CoherenceController, Outcome, ProtocolKind, Supplier};
+use spasm_check::{CheckViolation, CoherenceChecker};
 use spasm_desim::{Facility, SimTime};
 use spasm_net::{Delivery, Network};
 use spasm_topology::{NodeId, Topology, TopologyError};
@@ -10,7 +11,7 @@ use spasm_topology::{NodeId, Topology, TopologyError};
 use crate::engine::RunError;
 use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CTRL_BYTES, CYCLE_NS, DATA_BYTES, MEM_NS};
 
-use super::{Cost, ModelSummary};
+use super::{Cost, MachineConfig, ModelSummary};
 
 /// The machine the abstractions are measured against (§5): every coherence
 /// action is a real message on the circuit-switched network, and the home
@@ -41,6 +42,11 @@ pub struct TargetModel {
     coherence: CoherenceController,
     memory: Vec<Facility>,
     block_free: HashMap<u64, SimTime>,
+    /// Coherence-invariant observer (only under an enabled `CheckMode`).
+    checker: Option<CoherenceChecker>,
+    /// Network-conformance violation latched inside the infallible
+    /// [`TargetModel::send`] path, polled at the next fallible boundary.
+    net_violation: Option<CheckViolation>,
 }
 
 impl TargetModel {
@@ -58,7 +64,20 @@ impl TargetModel {
             coherence: CoherenceController::with_protocol(p, cache, protocol),
             memory: vec![Facility::new(); p],
             block_free: HashMap::new(),
+            checker: None,
+            net_violation: None,
         }
+    }
+
+    /// Builds the machine from a full [`MachineConfig`], including the
+    /// invariant-checking mode.
+    pub fn with_config(topo: Topology, config: MachineConfig) -> Self {
+        let p = topo.nodes();
+        let mut m = Self::with_protocol(topo, config.cache, config.protocol);
+        if config.check.enabled() {
+            m.checker = Some(CoherenceChecker::new(p, config.protocol));
+        }
+        m
     }
 
     fn send(
@@ -75,6 +94,33 @@ impl TargetModel {
             buckets.contention += d.contention;
             buckets.msgs += 1;
             buckets.bytes += bytes;
+            if self.checker.is_some() && self.net_violation.is_none() {
+                // Circuit-switched conformance: the message waits out link
+                // contention, departs, and arrives exactly its transmission
+                // time later, having crossed at least one link.
+                let complaint = if d.depart != at + d.contention {
+                    Some(format!(
+                        "message {src}->{dst} injected at {at} with contention {} departed at {}",
+                        d.contention, d.depart
+                    ))
+                } else if d.arrive != d.depart + d.latency {
+                    Some(format!(
+                        "message {src}->{dst} departed at {} with latency {} arrived at {}",
+                        d.depart, d.latency, d.arrive
+                    ))
+                } else if d.hops == 0 {
+                    Some(format!("remote message {src}->{dst} crossed zero links"))
+                } else {
+                    None
+                };
+                if let Some(message) = complaint {
+                    self.net_violation = Some(CheckViolation {
+                        invariant: "network-conformance",
+                        message,
+                        recent: Vec::new(),
+                    });
+                }
+            }
         }
         Ok(d)
     }
@@ -129,6 +175,9 @@ impl TargetModel {
         let home = amap.home_of(addr)?;
 
         let outcome = self.coherence.access(proc, block, kind);
+        if let Some(chk) = &mut self.checker {
+            chk.after_access(&self.coherence, at, proc, block, kind, &outcome)?;
+        }
         let finish = match outcome {
             Outcome::Hit => {
                 buckets.mem += cycle;
@@ -193,6 +242,9 @@ impl TargetModel {
                 finish
             }
         };
+        if let Some(v) = self.net_violation.take() {
+            return Err(v.into());
+        }
         Ok(Cost { finish, buckets })
     }
 
@@ -213,11 +265,24 @@ impl TargetModel {
         let mut buckets = Buckets::default();
         let cycle = SimTime::from_ns(CYCLE_NS);
         let d = self.send(at, src, dst, bytes, &mut buckets)?;
+        if let Some(v) = self.net_violation.take() {
+            return Err(v.into());
+        }
         Ok(super::MsgCost {
             sender_free: d.arrive.max(at + cycle),
             delivered: d.arrive.max(at + cycle),
             buckets,
         })
+    }
+
+    /// End-of-run invariant sweep: any latched network violation, then a
+    /// full coherence-state consistency scan.
+    pub fn final_check(&mut self) -> Option<CheckViolation> {
+        if let Some(v) = self.net_violation.take() {
+            return Some(v);
+        }
+        let chk = self.checker.as_ref()?;
+        chk.verify_all(&self.coherence).err()
     }
 
     /// Run-report counters.

@@ -28,4 +28,29 @@ timeout 60 ./target/release/figures \
     --figure F2 --size test --procs 2,4 --jobs 2 --budget-events 50000000 \
     > /dev/null
 
+# Checked smoke: the same class of sweep with the online invariant
+# checkers enabled — coherence, gap/latency, conservation, timing — on
+# every machine the figure touches. A violation fails the point, which
+# fails the run.
+echo "==> figures --figure F12 --size test --check --jobs 2 (60s watchdog)"
+timeout 60 ./target/release/figures \
+    --figure F12 --size test --procs 2,4 --check --jobs 2 \
+    --budget-events 50000000 > /dev/null
+
+# Fault-negative: under a hostile fault plan the strict checker MUST
+# fire (nonzero exit naming an invariant); a quiet pass here would mean
+# the checker is wired to nothing.
+echo "==> figures --strict-check --faults 7 must fail with a named invariant"
+if out=$(timeout 60 ./target/release/figures \
+    --figure F12 --size test --procs 2 --strict-check --faults 7 --jobs 1 \
+    2>&1 > /dev/null); then
+    echo "ERROR: adversarial faults passed the strict checker" >&2
+    exit 1
+fi
+if ! grep -q "invariant" <<< "$out"; then
+    echo "ERROR: checker failure did not name an invariant:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
 echo "==> tier-1 green (total $((SECONDS))s)"

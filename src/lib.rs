@@ -19,6 +19,8 @@
 //! * [`net`] — the link-level circuit-switched wormhole network;
 //! * [`logp`] — the LogP L/g parameters and gap enforcement;
 //! * [`cache`] — set-associative caches, Berkeley protocol, directory;
+//! * [`check`] — online invariant checkers (coherence, timing, network)
+//!   that run inside the models when enabled and cost nothing when off;
 //! * [`machine`] — the four machine characterizations and the
 //!   execution-driven engine;
 //! * [`apps`] — EP, FFT, IS, CG, CHOLESKY;
@@ -51,6 +53,7 @@
 
 pub use spasm_apps as apps;
 pub use spasm_cache as cache;
+pub use spasm_check as check;
 pub use spasm_core as core;
 pub use spasm_desim as desim;
 pub use spasm_exec as exec;

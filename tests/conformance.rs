@@ -1,0 +1,233 @@
+//! Differential conformance harness: the same (app, size, seed) runs on
+//! all five machine characterizations with the online invariant
+//! checkers enabled, and the paper's cross-model relations are asserted
+//! metamorphically — PRAM (SPASM's ideal time) never beats itself by
+//! running slower than CLogP, CLogP and the target agree on miss
+//! classification because both run the same Berkeley state machine, and
+//! the cache-less LogP machine diverges from CLogP by a bounded factor.
+//!
+//! Divergence bounds were measured empirically over the full app × seed
+//! × procs grid at `SizeClass::Test` and pinned with headroom (see the
+//! `#[ignore]`d `probe_divergence` table for re-pinning after a model
+//! change).
+
+use spasm::apps::{AppId, SizeClass};
+use spasm::core::{Experiment, Machine, Net, RunMetrics};
+use spasm::machine::CheckMode;
+use spasm_testkit::{check_with, gens, prop_assert, Config};
+
+/// Runs one experiment with invariant checking on, panicking (with the
+/// full violation report) if any checker fires or verification fails.
+fn run_checked(app: AppId, machine: Machine, net: Net, procs: usize, seed: u64) -> RunMetrics {
+    let exp = Experiment {
+        app,
+        size: SizeClass::Test,
+        net,
+        machine,
+        procs,
+        seed,
+    };
+    let mut config = machine.config();
+    config.check = CheckMode::On;
+    exp.run_with_config(config)
+        .unwrap_or_else(|e| panic!("{app} on {machine}/{net} p={procs} seed={seed}: {e}"))
+}
+
+/// The acceptance grid: every application on every machine
+/// characterization at procs ∈ {1, 2, 4, 8}, invariant-clean.
+#[test]
+fn all_apps_invariant_clean_on_all_machines() {
+    for app in AppId::ALL {
+        for machine in Machine::ALL {
+            for procs in [1usize, 2, 4, 8] {
+                run_checked(app, machine, Net::Cube, procs, 7);
+            }
+        }
+    }
+}
+
+/// Strict mode adds the conformance cross-checks (dispatch, access,
+/// delivery agreement between model prices and engine schedule); a
+/// healthy machine must be clean under it too.
+#[test]
+fn strict_mode_is_clean_on_healthy_machines() {
+    for machine in Machine::ALL {
+        let exp = Experiment {
+            app: AppId::Is,
+            size: SizeClass::Test,
+            net: Net::Mesh,
+            machine,
+            procs: 4,
+            seed: 11,
+        };
+        let mut config = machine.config();
+        config.check = CheckMode::Strict;
+        exp.run_with_config(config)
+            .unwrap_or_else(|e| panic!("{machine}: {e}"));
+    }
+}
+
+/// PRAM is the ideal-time baseline: with unit-cost memory and no
+/// network it can never run slower than CLogP on the same program.
+#[test]
+fn pram_is_a_lower_bound_on_clogp() {
+    let gen = gens::tuple3(
+        gens::choice(AppId::ALL.to_vec()),
+        gens::choice(vec![2usize, 4, 8]),
+        gens::u64s(0..1_000),
+    );
+    check_with(
+        Config {
+            cases: 12,
+            ..Config::default()
+        },
+        "pram_le_clogp",
+        &gen,
+        |&(app, procs, seed)| {
+            let pram = run_checked(app, Machine::Pram, Net::Cube, procs, seed);
+            let clogp = run_checked(app, Machine::CLogP, Net::Cube, procs, seed);
+            prop_assert!(
+                pram.exec_us <= clogp.exec_us,
+                "{app} p={procs} seed={seed}: pram {:.1}us > clogp {:.1}us",
+                pram.exec_us,
+                clogp.exec_us
+            );
+            Ok(())
+        },
+    );
+}
+
+/// CLogP's ideal cache runs the identical Berkeley state machine as the
+/// target's priced cache, so the two agree on miss classification up to
+/// the conflict and capacity misses only the target's finite 2-way
+/// cache can take (measured worst case 1.47×, on EP where the absolute
+/// counts are tiny; ≤1.34× everywhere else).
+#[test]
+fn clogp_and_target_agree_on_miss_classification() {
+    let gen = gens::tuple3(
+        gens::choice(AppId::ALL.to_vec()),
+        gens::choice(vec![2usize, 4, 8]),
+        gens::u64s(0..1_000),
+    );
+    check_with(
+        Config {
+            cases: 12,
+            ..Config::default()
+        },
+        "miss_classification",
+        &gen,
+        |&(app, procs, seed)| {
+            let target = run_checked(app, Machine::Target, Net::Cube, procs, seed);
+            let clogp = run_checked(app, Machine::CLogP, Net::Cube, procs, seed);
+            let (t, c) = (target.cache_misses, clogp.cache_misses);
+            prop_assert!(t > 0 && c > 0, "{app}: no cache traffic (t={t}, c={c})");
+            let ratio = t.max(c) as f64 / t.min(c) as f64;
+            prop_assert!(
+                ratio <= MISS_AGREEMENT_BOUND,
+                "{app} p={procs} seed={seed}: target {t} vs clogp {c} misses \
+                 (ratio {ratio:.3} > {MISS_AGREEMENT_BOUND})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// LogP (no cache) pays the network for every remote reference that
+/// CLogP's ideal cache absorbs, so it is slower — but by a bounded
+/// factor at this size, because the network parameters are identical.
+#[test]
+fn logp_clogp_divergence_is_bounded() {
+    let gen = gens::tuple3(
+        gens::choice(AppId::ALL.to_vec()),
+        gens::choice(vec![2usize, 4, 8]),
+        gens::u64s(0..1_000),
+    );
+    check_with(
+        Config {
+            cases: 12,
+            ..Config::default()
+        },
+        "logp_vs_clogp",
+        &gen,
+        |&(app, procs, seed)| {
+            let logp = run_checked(app, Machine::LogP, Net::Cube, procs, seed);
+            let clogp = run_checked(app, Machine::CLogP, Net::Cube, procs, seed);
+            let ratio = logp.exec_us / clogp.exec_us;
+            prop_assert!(
+                ratio <= LOGP_CLOGP_BOUND,
+                "{app} p={procs} seed={seed}: logp {:.1}us vs clogp {:.1}us \
+                 (ratio {ratio:.2} > {LOGP_CLOGP_BOUND})",
+                logp.exec_us,
+                clogp.exec_us
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A hostile fault plan must trip the checker: the same experiment that
+/// is invariant-clean when healthy returns a typed check violation (not
+/// a panic, not a wrong answer) once faults rewrite the schedule.
+#[test]
+fn hostile_fault_plan_trips_the_checker() {
+    use spasm::machine::FaultPlan;
+    for machine in [Machine::Target, Machine::LogP, Machine::CLogP] {
+        let exp = Experiment {
+            app: AppId::Is,
+            size: SizeClass::Test,
+            net: Net::Cube,
+            machine,
+            procs: 4,
+            seed: 7,
+        };
+        let mut config = machine.config();
+        config.check = CheckMode::Strict;
+        config.faults = Some(FaultPlan::adversarial(13));
+        let err = exp
+            .run_with_config(config)
+            .expect_err("adversarial faults must not pass the strict checker");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("invariant"),
+            "{machine}: expected a named invariant violation, got: {msg}"
+        );
+    }
+}
+
+/// Empirically-pinned bounds (see module docs). Re-measure with
+/// `cargo test --test conformance -- --ignored --nocapture` after any
+/// model change that shifts costs.
+const MISS_AGREEMENT_BOUND: f64 = 2.0;
+const LOGP_CLOGP_BOUND: f64 = 12.0;
+
+/// Prints the observed cross-model ratios over the grid the bounds
+/// cover, for re-pinning.
+#[test]
+#[ignore = "measurement probe, not an assertion"]
+fn probe_divergence() {
+    let mut worst_miss = 1.0f64;
+    let mut worst_logp = 0.0f64;
+    for app in AppId::ALL {
+        for procs in [2usize, 4, 8] {
+            for seed in [0u64, 7, 999] {
+                let target = run_checked(app, Machine::Target, Net::Cube, procs, seed);
+                let clogp = run_checked(app, Machine::CLogP, Net::Cube, procs, seed);
+                let logp = run_checked(app, Machine::LogP, Net::Cube, procs, seed);
+                let pram = run_checked(app, Machine::Pram, Net::Cube, procs, seed);
+                let miss = target.cache_misses.max(clogp.cache_misses) as f64
+                    / target.cache_misses.min(clogp.cache_misses).max(1) as f64;
+                let lr = logp.exec_us / clogp.exec_us;
+                worst_miss = worst_miss.max(miss);
+                worst_logp = worst_logp.max(lr);
+                println!(
+                    "{app:>9} p={procs} seed={seed:>3}: miss t/c {}/{} ({miss:.3}) \
+                     logp/clogp {lr:.2} pram/clogp {:.3}",
+                    target.cache_misses,
+                    clogp.cache_misses,
+                    pram.exec_us / clogp.exec_us
+                );
+            }
+        }
+    }
+    println!("worst miss ratio {worst_miss:.3}, worst logp/clogp {worst_logp:.2}");
+}

@@ -16,16 +16,41 @@ fn all_apps_verify_on_all_machines_and_networks() {
                 Machine::LogP,
                 Machine::CLogP,
             ] {
+                for procs in [1usize, 2, 4, 8] {
+                    Experiment {
+                        app,
+                        size: SizeClass::Test,
+                        net,
+                        machine,
+                        procs,
+                        seed: 7,
+                    }
+                    .run()
+                    .unwrap_or_else(|e| panic!("{app} on {machine}/{net} p={procs}: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_apps_verify_at_small_size() {
+    // The figure-quality size class, on a bounded grid (every app and
+    // machine, the serial and widest processor counts) so the suite
+    // stays seconds, not minutes.
+    for app in AppId::ALL {
+        for machine in Machine::ALL {
+            for procs in [1usize, 8] {
                 Experiment {
                     app,
-                    size: SizeClass::Test,
-                    net,
+                    size: SizeClass::Small,
+                    net: Net::Cube,
                     machine,
-                    procs: 4,
+                    procs,
                     seed: 7,
                 }
                 .run()
-                .unwrap_or_else(|e| panic!("{app} on {machine}/{net}: {e}"));
+                .unwrap_or_else(|e| panic!("{app} on {machine} p={procs}: {e}"));
             }
         }
     }
