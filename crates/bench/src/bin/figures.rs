@@ -3,7 +3,8 @@
 //! ```text
 //! figures --all [--size test|small|full] [--procs 2,4,8,16,32]
 //!         [--seed N] [--csv PATH] [--jobs N|auto] [--serial]
-//!         [--budget-events N]
+//!         [--budget-events N] [--journal PATH [--resume]]
+//!         [--deadline-secs N]
 //! figures --figure F13 [...]
 //! figures --list
 //! ```
@@ -13,6 +14,16 @@
 //! the inline single-thread path. Output is byte-identical either way;
 //! per-series and total elapsed times go to stderr so the speedup is
 //! visible without polluting the table/CSV streams.
+//!
+//! `--journal PATH` records every completed point in a durable
+//! per-figure journal (`PATH.<figure-id>`); after a crash or SIGKILL,
+//! the same command with `--resume` replays completed points and runs
+//! only the rest, producing byte-identical stdout. `--deadline-secs N`
+//! bounds each point's wall time via the executor watchdog.
+//!
+//! Exit codes: 0 clean · 2 usage · 3 point failures (partial figures
+//! salvaged) · 4 journal/configuration mismatch · 5 journal or CSV I/O
+//! failure.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -21,7 +32,8 @@ use std::time::{Duration, Instant};
 use spasm_apps::SizeClass;
 use spasm_bench::{parse_jobs, parse_procs, parse_size};
 use spasm_core::figures::{self, FigureSpec};
-use spasm_core::sweep::{run_figure_observed, SweepConfig};
+use spasm_core::journal::SweepJournal;
+use spasm_core::sweep::{run_figure_journaled, run_figure_observed, SweepConfig};
 use spasm_exec::ExecEvent;
 use spasm_machine::{CheckMode, FaultPlan, RunBudget};
 
@@ -43,7 +55,20 @@ struct Args {
     /// the checker fires on an unhealthy machine.
     faults: Option<u64>,
     ablation: Option<String>,
+    /// Base path for per-figure sweep journals (`<base>.<figure-id>`).
+    journal: Option<String>,
+    /// Replay an existing journal instead of refusing to clobber it.
+    resume: bool,
+    /// Per-point wall-clock deadline for the executor watchdog.
+    deadline: Option<Duration>,
 }
+
+/// Exit code when points failed but partial figures were salvaged.
+const EXIT_SALVAGED: u8 = 3;
+/// Exit code when a journal's fingerprint rejects this configuration.
+const EXIT_MISMATCH: u8 = 4;
+/// Exit code for journal or CSV I/O failures.
+const EXIT_IO: u8 = 5;
 
 fn usage() -> ! {
     eprintln!(
@@ -51,7 +76,8 @@ fn usage() -> ! {
          [--size test|small|full] \
          [--procs 2,4,...] [--seed N] [--csv PATH] [--chart] \
          [--jobs N|auto] [--serial] [--budget-events N] \
-         [--check] [--strict-check] [--faults SEED]"
+         [--check] [--strict-check] [--faults SEED] \
+         [--journal PATH [--resume]] [--deadline-secs N]"
     );
     std::process::exit(2)
 }
@@ -69,6 +95,9 @@ fn parse_args() -> Args {
         check: CheckMode::Off,
         faults: None,
         ablation: None,
+        journal: None,
+        resume: false,
+        deadline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -135,13 +164,35 @@ fn parse_args() -> Args {
                 );
             }
             "--ablation" => args.ablation = Some(it.next().unwrap_or_else(|| usage())),
+            "--journal" => args.journal = Some(it.next().unwrap_or_else(|| usage())),
+            "--resume" => args.resume = true,
+            "--deadline-secs" => {
+                args.deadline = Some(Duration::from_secs(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                ));
+            }
             _ => usage(),
         }
     }
     if args.figures.is_empty() && args.ablation.is_none() {
         usage();
     }
+    if args.resume && args.journal.is_none() {
+        eprintln!("--resume requires --journal PATH");
+        usage();
+    }
     args
+}
+
+/// Unwraps one ablation study's runs into its table row, or exits with
+/// the typed simulation error instead of panicking at the CLI surface.
+fn ablation_run<T>(which: &str, result: Result<T, spasm_core::ExperimentError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("ablation {which} failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Runs one of the extension studies (EXPERIMENTS.md A2–A4) and prints
@@ -161,9 +212,10 @@ fn run_ablation(which: &str, jobs: usize) {
                 "app", "crossing", "target (us)", "naive (us)", "aware (us)"
             );
             for app in AppId::ALL {
-                let s =
-                    ablation::traffic_aware_g_jobs(app, SizeClass::Test, Net::Mesh, 8, 1995, jobs)
-                        .expect("verified runs");
+                let s = ablation_run(
+                    which,
+                    ablation::traffic_aware_g_jobs(app, SizeClass::Test, Net::Mesh, 8, 1995, jobs),
+                );
                 println!(
                     "{:>9} {:>8.0}% {:>12.1} {:>12.1} {:>12.1}",
                     app.to_string(),
@@ -181,15 +233,17 @@ fn run_ablation(which: &str, jobs: usize) {
                 "app", "berkeley (us)", "wb-on-read (us)", "gap"
             );
             for app in AppId::ALL {
-                let s = ablation::protocol_sensitivity_jobs(
-                    app,
-                    SizeClass::Test,
-                    Net::Full,
-                    8,
-                    1995,
-                    jobs,
-                )
-                .expect("verified runs");
+                let s = ablation_run(
+                    which,
+                    ablation::protocol_sensitivity_jobs(
+                        app,
+                        SizeClass::Test,
+                        Net::Full,
+                        8,
+                        1995,
+                        jobs,
+                    ),
+                );
                 println!(
                     "{:>9} {:>14.1} {:>18.1} {:>7.1}%",
                     app.to_string(),
@@ -207,16 +261,18 @@ fn run_ablation(which: &str, jobs: usize) {
             }
             println!();
             for app in AppId::ALL {
-                let points = ablation::cache_working_set_jobs(
-                    app,
-                    SizeClass::Test,
-                    Net::Full,
-                    8,
-                    1995,
-                    ablation::CACHE_SWEEP,
-                    jobs,
-                )
-                .expect("verified runs");
+                let points = ablation_run(
+                    which,
+                    ablation::cache_working_set_jobs(
+                        app,
+                        SizeClass::Test,
+                        Net::Full,
+                        8,
+                        1995,
+                        ablation::CACHE_SWEEP,
+                        jobs,
+                    ),
+                );
                 print!("{:>9}", app.to_string());
                 for p in points {
                     print!(" {:>12.1}", p.metrics.exec_us);
@@ -246,6 +302,38 @@ fn jobs_label(jobs: usize) -> String {
     }
 }
 
+/// Creates or resumes the per-figure journal, mapping each failure
+/// class onto its exit code (4 = fingerprint mismatch, 5 = I/O or
+/// corruption).
+fn open_journal(
+    path: &str,
+    spec: &FigureSpec,
+    args: &Args,
+    sweep: &SweepConfig,
+) -> Result<SweepJournal, ExitCode> {
+    let opened = if args.resume {
+        SweepJournal::resume(path, spec, args.size, &args.procs, args.seed, sweep)
+    } else {
+        SweepJournal::create(path, spec, args.size, &args.procs, args.seed, sweep)
+    };
+    opened.map_err(|e| {
+        eprintln!("journal {path}: {e}");
+        if matches!(
+            e,
+            spasm_core::journal::ResumeError::Journal(
+                spasm_journal::JournalError::AlreadyExists { .. }
+            )
+        ) {
+            eprintln!("(pass --resume to continue the interrupted sweep)");
+        }
+        if e.is_fingerprint_mismatch() {
+            ExitCode::from(EXIT_MISMATCH)
+        } else {
+            ExitCode::from(EXIT_IO)
+        }
+    })
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(which) = &args.ablation {
@@ -259,42 +347,97 @@ fn main() -> ExitCode {
             .map_or(RunBudget::UNLIMITED, RunBudget::events),
         check: args.check,
         faults: args.faults.map(FaultPlan::adversarial),
+        deadline: args.deadline,
         ..SweepConfig::default()
     };
     let total_started = Instant::now();
     let mut total_busy = Duration::ZERO;
     let mut total_points = 0usize;
-    let mut csv = String::from("figure,app,net,metric,procs,machine,value\n");
+    let mut csv = String::from("figure,app,net,metric,procs,machine,value,reason\n");
     let mut failed_points = 0;
     for spec in &args.figures {
         let started = Instant::now();
         // Per-point wall times, folded per series by the observer as the
-        // pool reports completions (job indices are series-major).
+        // pool reports completions (job indices are series-major). Under
+        // a resumed journal the fresh points are a sparse subset, so the
+        // index->series mapping no longer holds and timing is folded
+        // into one figure-level total instead.
         let points_per_series = args.procs.len().max(1);
         let mut series_busy = vec![Duration::ZERO; spec.machines.len()];
-        let data = run_figure_observed(spec, args.size, &args.procs, args.seed, sweep, |ev| {
-            if let ExecEvent::Finished { job, wall, .. } | ExecEvent::Panicked { job, wall, .. } =
-                ev
-            {
-                series_busy[job / points_per_series] += *wall;
+        let mut fresh_busy = Duration::ZERO;
+        let mut fresh_points = 0usize;
+        let data = if let Some(base) = &args.journal {
+            let jpath = format!("{base}.{}", spec.id);
+            let journal = match open_journal(&jpath, spec, &args, &sweep) {
+                Ok(j) => j,
+                Err(code) => return code,
+            };
+            if journal.repaired_bytes() > 0 {
+                eprintln!(
+                    "{}: journal {jpath}: dropped a {}-byte torn tail",
+                    spec.id,
+                    journal.repaired_bytes()
+                );
             }
-        });
+            let data = run_figure_journaled(
+                spec,
+                args.size,
+                &args.procs,
+                args.seed,
+                sweep,
+                &journal,
+                |ev| {
+                    if let ExecEvent::Finished { wall, .. }
+                    | ExecEvent::Panicked { wall, .. }
+                    | ExecEvent::Deadlined { wall, .. } = ev
+                    {
+                        fresh_busy += *wall;
+                        fresh_points += 1;
+                    }
+                },
+            );
+            eprintln!(
+                "{}: journal {jpath}: {} point(s) replayed, {} run fresh",
+                spec.id,
+                journal.replayed(),
+                fresh_points
+            );
+            if let Some(e) = journal.io_error() {
+                eprintln!(
+                    "{}: warning: journal {jpath} stopped persisting ({e}); \
+                     results are complete in memory but will re-run on resume",
+                    spec.id
+                );
+            }
+            total_busy += fresh_busy;
+            data
+        } else {
+            let data = run_figure_observed(spec, args.size, &args.procs, args.seed, sweep, |ev| {
+                if let ExecEvent::Finished { job, wall, .. }
+                | ExecEvent::Panicked { job, wall, .. }
+                | ExecEvent::Deadlined { job, wall, .. } = ev
+                {
+                    series_busy[job / points_per_series] += *wall;
+                }
+            });
+            // Timing goes to stderr: the stdout stream stays parseable
+            // (tables/CSV only) and byte-identical across --jobs settings.
+            for (s, busy) in data.series.iter().zip(&series_busy) {
+                eprintln!(
+                    "{}: series {}: {:.1?} simulated across {} point(s)",
+                    spec.id,
+                    s.machine,
+                    busy,
+                    data.procs.len()
+                );
+                total_busy += *busy;
+            }
+            data
+        };
         let figure_wall = started.elapsed();
         println!("{}", data.render_table());
         if args.chart {
             println!("{}", data.render_chart(12));
-        }
-        // Timing goes to stderr: the stdout stream stays parseable
-        // (tables/CSV only) and byte-identical across --jobs settings.
-        for (s, busy) in data.series.iter().zip(&series_busy) {
-            eprintln!(
-                "{}: series {}: {:.1?} simulated across {} point(s)",
-                spec.id,
-                s.machine,
-                busy,
-                data.procs.len()
-            );
-            total_busy += *busy;
         }
         eprintln!(
             "{}: swept in {:.1?} ({})",
@@ -337,13 +480,13 @@ fn main() -> ExitCode {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
         }
     }
     if failed_points > 0 {
-        eprintln!("{failed_points} point(s) failed");
-        return ExitCode::FAILURE;
+        eprintln!("{failed_points} point(s) failed (partial figures salvaged)");
+        return ExitCode::from(EXIT_SALVAGED);
     }
     ExitCode::SUCCESS
 }

@@ -128,8 +128,12 @@ pub fn traffic_aware_g_jobs(
         ],
     )
     .into_iter();
-    let target = batch.next().expect("target slot")?;
-    let naive = batch.next().expect("naive slot")?;
+    let target = batch
+        .next()
+        .expect("executor returns one slot per submitted job (2 jobs, slot 0)")?;
+    let naive = batch
+        .next()
+        .expect("executor returns one slot per submitted job (2 jobs, slot 1)")?;
     let crossing_fraction = target.crossing_fraction;
     let aware = clogp.run_with_config(MachineConfig {
         g_scale: crossing_fraction,
@@ -297,8 +301,12 @@ pub fn protocol_sensitivity_jobs(
         ],
     )
     .into_iter();
-    let berkeley = batch.next().expect("berkeley slot")?;
-    let write_back_on_read = batch.next().expect("write-back slot")?;
+    let berkeley = batch
+        .next()
+        .expect("executor returns one slot per submitted job (2 jobs, slot 0)")?;
+    let write_back_on_read = batch
+        .next()
+        .expect("executor returns one slot per submitted job (2 jobs, slot 1)")?;
     Ok(ProtocolStudy {
         berkeley,
         write_back_on_read,

@@ -159,6 +159,16 @@ pub enum ExperimentError {
     /// A panic escaped the simulation infrastructure itself (builder,
     /// model, or verifier) and was caught at the experiment boundary.
     Aborted(String),
+    /// The point's job overran the sweep's per-job wall-clock deadline
+    /// and was cancelled by the executor's watchdog.
+    Deadline {
+        /// The deadline the job overran.
+        limit: Duration,
+    },
+    /// The failure was reconstructed from a sweep journal on resume: the
+    /// string is the original error's rendering, preserved verbatim so
+    /// resumed figures are byte-identical to uninterrupted ones.
+    Replayed(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -168,6 +178,11 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Run(e) => write!(f, "simulation failed: {e}"),
             ExperimentError::Verify(e) => write!(f, "verification failed: {e}"),
             ExperimentError::Aborted(e) => write!(f, "experiment aborted: {e}"),
+            ExperimentError::Deadline { limit } => {
+                write!(f, "job overran its {limit:?} wall-clock deadline")
+            }
+            // Verbatim: the journal stored the original error's rendering.
+            ExperimentError::Replayed(e) => f.write_str(e),
         }
     }
 }
@@ -184,11 +199,10 @@ impl ExperimentError {
     }
 }
 
-/// A job-level failure from the parallel executor maps onto the same
-/// abort class as an escaped panic: either the job's closure panicked
-/// outside the experiment's own `catch_unwind` fence, or the pool
-/// cancelled the job before it ran (shared budget exhausted, caller
-/// cancellation, wall watchdog).
+/// A job-level failure from the parallel executor: a panic outside the
+/// experiment's own `catch_unwind` fence or a pre-run cancellation maps
+/// onto the abort class; a deadline overrun keeps its own typed variant
+/// so renderers and retry policy can distinguish "slow" from "broken".
 impl From<spasm_exec::JobError> for ExperimentError {
     fn from(e: spasm_exec::JobError) -> Self {
         match e {
@@ -196,6 +210,7 @@ impl From<spasm_exec::JobError> for ExperimentError {
             spasm_exec::JobError::Cancelled(reason) => {
                 ExperimentError::Aborted(format!("job not run: {reason}"))
             }
+            spasm_exec::JobError::Deadline { limit } => ExperimentError::Deadline { limit },
         }
     }
 }

@@ -1,0 +1,622 @@
+//! Crash-safe sweep journaling: resume a killed figure sweep.
+//!
+//! A [`SweepJournal`] wraps a durable `spasm-journal` file with one
+//! record per *completed* sweep point — the point's identity (machine,
+//! processor count), its [`Outcome`] and, for successful points, the
+//! full [`RunMetrics`]. The file's header carries a fingerprint of
+//! everything that determines point outcomes (figure spec, size, procs
+//! grid, seed, machine configurations, resilience knobs), so a resume
+//! against a journal written under a different configuration fails with
+//! a typed error instead of silently mixing incompatible results.
+//!
+//! Only completed *attempt cycles* are journaled: a point that ran to a
+//! verdict (`Ok`, or `Failed` with `attempts >= 1`) is durable, while
+//! job-level casualties — points cancelled by a shared budget, killed
+//! by the deadline watchdog, or lost to a SIGKILL — are not, so a
+//! resumed sweep re-runs exactly those and converges on the same
+//! [`crate::sweep::FigureData`] an uninterrupted run produces,
+//! byte-for-byte (failure reasons replay verbatim via
+//! [`ExperimentError::Replayed`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use spasm_apps::SizeClass;
+use spasm_journal::{Fingerprint, Journal, JournalError};
+
+use crate::figures::FigureSpec;
+use crate::sweep::{Outcome, SweepConfig};
+use crate::{ExperimentError, Machine, RunMetrics};
+
+/// Why a journal could not be created, opened, or replayed.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The journal file itself is unusable: I/O failure, not a journal,
+    /// interior corruption, or a configuration-fingerprint mismatch.
+    Journal(JournalError),
+    /// A record passed its checksum but does not decode as a sweep
+    /// point — the journal was written by something else entirely.
+    BadRecord {
+        /// Zero-based index of the undecodable record.
+        index: usize,
+        /// What failed while decoding it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Journal(e) => e.fmt(f),
+            ResumeError::BadRecord { index, detail } => {
+                write!(
+                    f,
+                    "journal record {index} does not decode as a sweep point: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<JournalError> for ResumeError {
+    fn from(e: JournalError) -> Self {
+        ResumeError::Journal(e)
+    }
+}
+
+impl ResumeError {
+    /// True when the journal exists and is healthy but was written under
+    /// a different sweep configuration.
+    pub fn is_fingerprint_mismatch(&self) -> bool {
+        matches!(
+            self,
+            ResumeError::Journal(JournalError::FingerprintMismatch { .. })
+        )
+    }
+}
+
+/// Fingerprint of everything that determines a sweep's point outcomes.
+///
+/// Scheduling knobs are deliberately excluded — `jobs`, `deadline`, and
+/// `backoff` change *when* points run, not what they compute, and a
+/// sweep may legitimately be resumed with more workers or a longer
+/// deadline than the run that was killed. `total_events` *is* included:
+/// its cuts depend on completion timing, so resuming under a different
+/// global budget could not reproduce the original run either way.
+pub fn sweep_fingerprint(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: &SweepConfig,
+) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.absorb_str("spasm-sweep-v1");
+    fp.absorb_str(spec.id);
+    fp.absorb_str(&spec.app.to_string());
+    fp.absorb_str(&spec.net.to_string());
+    fp.absorb_str(&format!("{:?}", spec.metric));
+    fp.absorb_u64(spec.machines.len() as u64);
+    for &m in spec.machines {
+        fp.absorb_str(&m.to_string());
+        m.config().absorb_fingerprint(&mut fp);
+    }
+    fp.absorb_str(&format!("{size:?}"));
+    fp.absorb_u64(procs.len() as u64);
+    for &p in procs {
+        fp.absorb_u64(p as u64);
+    }
+    fp.absorb_u64(seed);
+    fp.absorb_str(&format!("{:?}", sweep.faults));
+    fp.absorb_str(&format!("{:?}", sweep.budget));
+    fp.absorb_u64(u64::from(sweep.max_attempts));
+    fp.absorb_str(&format!("{:?}", sweep.check));
+    fp.absorb_str(&format!("{:?}", sweep.total_events));
+    fp.finish()
+}
+
+/// A decoded journal record, held for replay.
+#[derive(Debug)]
+enum ReplayPoint {
+    Ok(RunMetrics),
+    Failed { reason: String, attempts: u32 },
+}
+
+/// A durable journal bound to one figure sweep, usable from worker
+/// threads (appends serialize on an internal mutex; each append is a
+/// full atomic rewrite, cheap next to a multi-second simulation).
+#[derive(Debug)]
+pub struct SweepJournal {
+    inner: Mutex<Inner>,
+    replay: HashMap<(Machine, usize), ReplayPoint>,
+    repaired_bytes: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    journal: Journal,
+    /// First append failure, latched: the sweep keeps running on its
+    /// in-memory results, but the caller can surface the lost
+    /// durability.
+    io_error: Option<JournalError>,
+}
+
+impl SweepJournal {
+    /// Creates a fresh journal for this sweep. Refuses to clobber an
+    /// existing file — resuming must be an explicit choice.
+    pub fn create(
+        path: impl AsRef<Path>,
+        spec: &FigureSpec,
+        size: SizeClass,
+        procs: &[usize],
+        seed: u64,
+        sweep: &SweepConfig,
+    ) -> Result<SweepJournal, ResumeError> {
+        let fp = sweep_fingerprint(spec, size, procs, seed, sweep);
+        let journal = Journal::create(path, fp)?;
+        Ok(SweepJournal {
+            inner: Mutex::new(Inner {
+                journal,
+                io_error: None,
+            }),
+            replay: HashMap::new(),
+            repaired_bytes: 0,
+        })
+    }
+
+    /// Opens an existing journal for resumption — validating its
+    /// fingerprint against this sweep's configuration, repairing a torn
+    /// tail, and loading every intact record for replay — or creates a
+    /// fresh one if `path` does not exist (resuming nothing is a clean
+    /// start, which makes retry loops idempotent).
+    pub fn resume(
+        path: impl AsRef<Path>,
+        spec: &FigureSpec,
+        size: SizeClass,
+        procs: &[usize],
+        seed: u64,
+        sweep: &SweepConfig,
+    ) -> Result<SweepJournal, ResumeError> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return SweepJournal::create(path, spec, size, procs, seed, sweep);
+        }
+        let fp = sweep_fingerprint(spec, size, procs, seed, sweep);
+        let (journal, recovery) = Journal::open(path, fp)?;
+        let mut replay = HashMap::new();
+        for (index, record) in recovery.records.iter().enumerate() {
+            let (machine, procs, point) =
+                decode_point(record).map_err(|detail| ResumeError::BadRecord { index, detail })?;
+            replay.insert((machine, procs), point);
+        }
+        Ok(SweepJournal {
+            inner: Mutex::new(Inner {
+                journal,
+                io_error: None,
+            }),
+            replay,
+            repaired_bytes: recovery.truncated_bytes,
+        })
+    }
+
+    /// Number of points loaded for replay.
+    pub fn replayed(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Bytes of torn tail dropped while opening (0 for a clean file).
+    pub fn repaired_bytes(&self) -> usize {
+        self.repaired_bytes
+    }
+
+    /// The first append failure, if any: results after it are correct in
+    /// memory but will re-run on a future resume.
+    pub fn io_error(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("journal mutex poisoned: a journal append panicked")
+            .io_error
+            .as_ref()
+            .map(|e| e.to_string())
+    }
+
+    /// The journaled verdict for a point, if one exists. Failed points
+    /// come back as [`ExperimentError::Replayed`] carrying the original
+    /// error's rendering verbatim.
+    pub(crate) fn lookup(
+        &self,
+        machine: Machine,
+        procs: usize,
+    ) -> Option<(Outcome, Option<RunMetrics>)> {
+        match self.replay.get(&(machine, procs))? {
+            ReplayPoint::Ok(m) => Some((Outcome::Ok, Some(*m))),
+            ReplayPoint::Failed { reason, attempts } => Some((
+                Outcome::Failed {
+                    error: ExperimentError::Replayed(reason.clone()),
+                    attempts: *attempts,
+                },
+                None,
+            )),
+        }
+    }
+
+    /// Appends one completed point. Called from worker threads as points
+    /// finish; an append failure is latched (see
+    /// [`SweepJournal::io_error`]) rather than failing the sweep — the
+    /// in-memory figure is still correct.
+    pub(crate) fn record(
+        &self,
+        machine: Machine,
+        procs: usize,
+        outcome: &Outcome,
+        metrics: Option<&RunMetrics>,
+    ) {
+        let payload = encode_point(machine, procs, outcome, metrics);
+        let mut inner = self
+            .inner
+            .lock()
+            .expect("journal mutex poisoned: a journal append panicked");
+        if inner.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.journal.append(&payload) {
+            inner.io_error = Some(e);
+        }
+    }
+}
+
+// --- record codec -------------------------------------------------------
+//
+// Fixed-width little-endian fields and length-prefixed strings; the
+// framing layer already guards integrity (CRC64) and atomicity, so the
+// payload only needs to be self-describing enough to decode.
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    push_u64(buf, v.to_bits());
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Result<u64, String> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| format!("u64 field runs past byte {}", self.buf.len()))?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = usize::try_from(self.u64()?).map_err(|_| "string length overflow".to_string())?;
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| format!("{len}-byte string runs past the record"))?;
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|e| format!("string is not UTF-8: {e}"))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes", self.buf.len() - self.pos))
+        }
+    }
+}
+
+const TAG_OK: u64 = 0;
+const TAG_FAILED: u64 = 1;
+
+fn encode_point(
+    machine: Machine,
+    procs: usize,
+    outcome: &Outcome,
+    metrics: Option<&RunMetrics>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(160);
+    push_str(&mut buf, &machine.to_string());
+    push_u64(&mut buf, procs as u64);
+    match outcome {
+        Outcome::Ok => {
+            let m = metrics.expect("an Ok outcome always carries metrics");
+            push_u64(&mut buf, TAG_OK);
+            push_f64(&mut buf, m.exec_us);
+            push_f64(&mut buf, m.latency_us);
+            push_f64(&mut buf, m.contention_us);
+            push_f64(&mut buf, m.sync_us);
+            push_f64(&mut buf, m.dir_wait_us);
+            push_u64(&mut buf, m.messages);
+            push_u64(&mut buf, m.bytes);
+            push_u64(&mut buf, m.events);
+            push_f64(&mut buf, m.crossing_fraction);
+            push_u64(&mut buf, m.cache_hits);
+            push_u64(&mut buf, m.cache_misses);
+            push_u64(&mut buf, m.faults_injected);
+            push_u64(&mut buf, m.wall.as_nanos() as u64);
+        }
+        Outcome::Failed { error, attempts } => {
+            push_u64(&mut buf, TAG_FAILED);
+            push_u64(&mut buf, u64::from(*attempts));
+            push_str(&mut buf, &error.to_string());
+        }
+    }
+    buf
+}
+
+fn decode_point(record: &[u8]) -> Result<(Machine, usize, ReplayPoint), String> {
+    let mut c = Cursor {
+        buf: record,
+        pos: 0,
+    };
+    let name = c.str()?;
+    let machine =
+        Machine::from_name(&name).ok_or_else(|| format!("unknown machine name {name:?}"))?;
+    let procs = usize::try_from(c.u64()?).map_err(|_| "procs overflows usize".to_string())?;
+    let point = match c.u64()? {
+        TAG_OK => {
+            let metrics = RunMetrics {
+                exec_us: c.f64()?,
+                latency_us: c.f64()?,
+                contention_us: c.f64()?,
+                sync_us: c.f64()?,
+                dir_wait_us: c.f64()?,
+                messages: c.u64()?,
+                bytes: c.u64()?,
+                events: c.u64()?,
+                crossing_fraction: c.f64()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+                faults_injected: c.u64()?,
+                wall: Duration::from_nanos(c.u64()?),
+            };
+            ReplayPoint::Ok(metrics)
+        }
+        TAG_FAILED => {
+            let attempts = u32::try_from(c.u64()?).map_err(|_| "attempts overflow".to_string())?;
+            let reason = c.str()?;
+            ReplayPoint::Failed { reason, attempts }
+        }
+        tag => return Err(format!("unknown outcome tag {tag}")),
+    };
+    c.done()?;
+    Ok((machine, procs, point))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("spasm-core-journal-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+        let path = dir.join(format!("{}-{name}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample_metrics() -> RunMetrics {
+        RunMetrics {
+            exec_us: 1.5,
+            latency_us: 0.25,
+            contention_us: 0.125,
+            sync_us: 3.0,
+            dir_wait_us: 0.0,
+            messages: 42,
+            bytes: 1024,
+            events: 9001,
+            crossing_fraction: 0.5,
+            cache_hits: 7,
+            cache_misses: 3,
+            faults_injected: 1,
+            wall: Duration::from_micros(1234),
+        }
+    }
+
+    #[test]
+    fn point_codec_roundtrips_both_outcomes() {
+        let m = sample_metrics();
+        let ok = encode_point(Machine::CLogP, 8, &Outcome::Ok, Some(&m));
+        let (machine, procs, point) = decode_point(&ok).unwrap();
+        assert_eq!(machine, Machine::CLogP);
+        assert_eq!(procs, 8);
+        match point {
+            ReplayPoint::Ok(got) => {
+                assert_eq!(got.exec_us.to_bits(), m.exec_us.to_bits());
+                assert_eq!(got.messages, m.messages);
+                assert_eq!(got.wall, m.wall);
+            }
+            ReplayPoint::Failed { .. } => panic!("expected Ok"),
+        }
+
+        let failed = Outcome::Failed {
+            error: ExperimentError::Config("3 is not a power of two".into()),
+            attempts: 2,
+        };
+        let enc = encode_point(Machine::Pram, 3, &failed, None);
+        let (machine, procs, point) = decode_point(&enc).unwrap();
+        assert_eq!((machine, procs), (Machine::Pram, 3));
+        match point {
+            ReplayPoint::Failed { reason, attempts } => {
+                assert_eq!(reason, "invalid configuration: 3 is not a power of two");
+                assert_eq!(attempts, 2);
+            }
+            ReplayPoint::Ok(_) => panic!("expected Failed"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_point(&[]).is_err());
+        // A valid record with trailing garbage must not decode.
+        let mut enc = encode_point(Machine::Pram, 2, &Outcome::Ok, Some(&sample_metrics()));
+        enc.push(0);
+        assert!(decode_point(&enc).unwrap_err().contains("trailing"));
+        // An unknown machine name is named in the error.
+        let mut bad = Vec::new();
+        push_str(&mut bad, "bsp");
+        push_u64(&mut bad, 2);
+        push_u64(&mut bad, TAG_OK);
+        assert!(decode_point(&bad).unwrap_err().contains("bsp"));
+    }
+
+    #[test]
+    fn fingerprint_separates_every_outcome_affecting_knob() {
+        let spec = figures::by_id("F1").unwrap();
+        let base = sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &SweepConfig::default());
+        // Same inputs, same fingerprint.
+        assert_eq!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &SweepConfig::default())
+        );
+        // Each knob separates.
+        let other_spec = figures::by_id("F2").unwrap();
+        assert_ne!(
+            base,
+            sweep_fingerprint(
+                other_spec,
+                SizeClass::Test,
+                &[2, 4],
+                5,
+                &SweepConfig::default()
+            )
+        );
+        assert_ne!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Small, &[2, 4], 5, &SweepConfig::default())
+        );
+        assert_ne!(
+            base,
+            sweep_fingerprint(
+                spec,
+                SizeClass::Test,
+                &[2, 4, 8],
+                5,
+                &SweepConfig::default()
+            )
+        );
+        assert_ne!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 6, &SweepConfig::default())
+        );
+        let budgeted = SweepConfig {
+            total_events: Some(10),
+            ..SweepConfig::default()
+        };
+        assert_ne!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &budgeted)
+        );
+        // Scheduling knobs do NOT separate: resume may change them.
+        let rescheduled = SweepConfig {
+            jobs: 7,
+            deadline: Some(Duration::from_secs(30)),
+            backoff: spasm_exec::Backoff::exponential(
+                Duration::from_millis(1),
+                Duration::from_millis(8),
+            ),
+            ..SweepConfig::default()
+        };
+        assert_eq!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &rescheduled)
+        );
+    }
+
+    #[test]
+    fn create_refuses_existing_and_resume_replays() {
+        let spec = figures::by_id("F12").unwrap();
+        let sweep = SweepConfig::default();
+        let path = scratch("create-resume");
+        let j = SweepJournal::create(&path, spec, SizeClass::Test, &[2], 5, &sweep).unwrap();
+        j.record(Machine::Pram, 2, &Outcome::Ok, Some(&sample_metrics()));
+        j.record(
+            Machine::Target,
+            2,
+            &Outcome::Failed {
+                error: ExperimentError::Verify("wrong sum".into()),
+                attempts: 1,
+            },
+            None,
+        );
+        assert!(j.io_error().is_none());
+        drop(j);
+
+        // A second create must refuse the existing file.
+        match SweepJournal::create(&path, spec, SizeClass::Test, &[2], 5, &sweep) {
+            Err(ResumeError::Journal(JournalError::AlreadyExists { .. })) => {}
+            other => panic!("expected AlreadyExists, got {other:?}"),
+        }
+
+        // Resume replays both points, typed and verbatim.
+        let r = SweepJournal::resume(&path, spec, SizeClass::Test, &[2], 5, &sweep).unwrap();
+        assert_eq!(r.replayed(), 2);
+        assert_eq!(r.repaired_bytes(), 0);
+        let (outcome, metrics) = r.lookup(Machine::Pram, 2).unwrap();
+        assert!(outcome.is_ok());
+        assert_eq!(metrics.unwrap().events, 9001);
+        let (outcome, metrics) = r.lookup(Machine::Target, 2).unwrap();
+        assert!(metrics.is_none());
+        match outcome {
+            Outcome::Failed { error, attempts } => {
+                assert_eq!(error.to_string(), "verification failed: wrong sum");
+                assert!(matches!(error, ExperimentError::Replayed(_)));
+                assert_eq!(attempts, 1);
+            }
+            Outcome::Ok => panic!("expected Failed"),
+        }
+        assert!(r.lookup(Machine::LogP, 2).is_none());
+
+        // Resume under a different seed must refuse the journal.
+        match SweepJournal::resume(&path, spec, SizeClass::Test, &[2], 6, &sweep) {
+            Err(e) => assert!(e.is_fingerprint_mismatch(), "{e}"),
+            Ok(_) => panic!("fingerprint mismatch accepted"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_of_a_missing_path_is_a_clean_start() {
+        let spec = figures::by_id("F12").unwrap();
+        let path = scratch("resume-fresh");
+        let j = SweepJournal::resume(
+            &path,
+            spec,
+            SizeClass::Test,
+            &[2],
+            5,
+            &SweepConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(j.replayed(), 0);
+        assert!(
+            path.exists(),
+            "resume-of-nothing must still create the file"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -13,11 +13,14 @@
 //! resulting [`FigureData`] — table, CSV, chart, metric bits — is
 //! **byte-identical** to a serial sweep of the same seeds.
 
+use std::time::Duration;
+
 use spasm_apps::SizeClass;
-use spasm_exec::{execute, CostBudget, ExecConfig, ExecEvent, JobOutput};
+use spasm_exec::{execute, Backoff, CostBudget, ExecConfig, ExecEvent, JobOutput};
 use spasm_machine::{CheckMode, FaultPlan, RunBudget};
 
 use crate::figures::{FigureSpec, Metric};
+use crate::journal::SweepJournal;
 use crate::{Experiment, ExperimentError, Machine, RunMetrics};
 
 /// One figure's regenerated data: `values[series][point]` aligned with
@@ -100,6 +103,19 @@ pub struct SweepConfig {
     /// invariant fails the point (never retried — the checkers are
     /// deterministic) without failing the figure.
     pub check: CheckMode,
+    /// Per-point wall-clock deadline, enforced by the executor's
+    /// watchdog: an overdue point is cancelled (cooperatively — the
+    /// simulation thread is never killed) and fails typed as
+    /// [`ExperimentError::Deadline`]. `None` (the default) never
+    /// deadlines. A scheduling knob: it does not enter the sweep's
+    /// journal fingerprint, and deadline failures are never journaled,
+    /// so a resume with a longer deadline re-runs exactly the points
+    /// that timed out.
+    pub deadline: Option<Duration>,
+    /// Pause schedule between reseeded retries of budget-class failures
+    /// (deterministic capped exponential, jittered per point seed).
+    /// [`Backoff::NONE`] (the default) retries immediately.
+    pub backoff: Backoff,
 }
 
 impl Default for SweepConfig {
@@ -111,6 +127,8 @@ impl Default for SweepConfig {
             jobs: 1,
             total_events: None,
             check: CheckMode::Off,
+            deadline: None,
+            backoff: Backoff::NONE,
         }
     }
 }
@@ -187,6 +205,44 @@ pub fn run_figure_observed(
     sweep: SweepConfig,
     observe: impl FnMut(&ExecEvent),
 ) -> FigureData {
+    run_figure_inner(spec, size, procs, seed, sweep, None, observe)
+}
+
+/// [`run_figure_observed`] under a durable [`SweepJournal`]: points the
+/// journal already holds are replayed without simulating (and without
+/// entering the executor, so the observer sees only fresh points), and
+/// every freshly completed point is appended to the journal before its
+/// result is assembled. Kill this at any moment and re-run with a
+/// resumed journal: the final [`FigureData`] is byte-identical to an
+/// uninterrupted sweep.
+///
+/// Points that never completed an attempt cycle — cancelled by the
+/// shared event budget, overrun by the deadline watchdog, or lost to
+/// the crash itself — are *not* journaled, so a resume re-runs them.
+pub fn run_figure_journaled(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: SweepConfig,
+    journal: &SweepJournal,
+    observe: impl FnMut(&ExecEvent),
+) -> FigureData {
+    run_figure_inner(spec, size, procs, seed, sweep, Some(journal), observe)
+}
+
+fn run_figure_inner(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: SweepConfig,
+    journal: Option<&SweepJournal>,
+    observe: impl FnMut(&ExecEvent),
+) -> FigureData {
+    // Series-major (= serial iteration) order, minus already-journaled
+    // points: submission indices — and thus job seeds and results — stay
+    // deterministic for a fixed replay set.
     let points: Vec<(Machine, Experiment)> = spec
         .machines
         .iter()
@@ -205,10 +261,14 @@ pub fn run_figure_observed(
                 )
             })
         })
+        .filter(|&(machine, ref exp)| {
+            journal.is_none_or(|j| j.lookup(machine, exp.procs).is_none())
+        })
         .collect();
     let config = ExecConfig {
         jobs: sweep.jobs,
         seed,
+        deadline: sweep.deadline,
         cost_budget: sweep
             .total_events
             .map_or(CostBudget::UNLIMITED, CostBudget::units),
@@ -219,6 +279,13 @@ pub fn run_figure_observed(
         points,
         |_ctx, (machine, exp)| {
             let (outcome, m) = run_point(&exp, machine, sweep);
+            // Durable the moment it is decided: the journal append (an
+            // atomic whole-file commit) happens before the result enters
+            // the in-memory figure, so a crash after this line loses
+            // nothing.
+            if let Some(j) = journal {
+                j.record(machine, exp.procs, &outcome, m.as_ref());
+            }
             let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
             JobOutput {
                 value: (outcome, m),
@@ -235,20 +302,29 @@ pub fn run_figure_observed(
         let mut values = Vec::with_capacity(procs.len());
         let mut metrics = Vec::with_capacity(procs.len());
         let mut outcomes = Vec::with_capacity(procs.len());
-        for _ in procs {
-            let (outcome, m) = match slots.next().expect("one result slot per point") {
-                Ok(point) => point,
-                // A job-level failure (panic past the experiment fence,
-                // or a point cancelled by the shared budget) becomes a
-                // FAILED cell like any other; attempts = 0 records that
-                // the simulation never completed an attempt cycle.
-                Err(e) => (
-                    Outcome::Failed {
-                        error: e.into(),
-                        attempts: 0,
-                    },
-                    None,
-                ),
+        for &p in procs {
+            let (outcome, m) = match journal.and_then(|j| j.lookup(machine, p)) {
+                // Replayed from the journal: this point never entered
+                // the executor, so it consumes no result slot.
+                Some(replayed) => replayed,
+                None => match slots
+                    .next()
+                    .expect("one result slot per non-journaled point")
+                {
+                    Ok(point) => point,
+                    // A job-level failure (panic past the experiment
+                    // fence, a point cancelled by the shared budget, or
+                    // a deadline overrun) becomes a FAILED cell like any
+                    // other; attempts = 0 records that the simulation
+                    // never completed an attempt cycle.
+                    Err(e) => (
+                        Outcome::Failed {
+                            error: e.into(),
+                            attempts: 0,
+                        },
+                        None,
+                    ),
+                },
             };
             values.push(m.as_ref().map_or(f64::NAN, |m| extract(spec.metric, m)));
             metrics.push(m);
@@ -293,11 +369,29 @@ fn run_point(
         match exp.run_with_config(config) {
             Ok(m) => return (Outcome::Ok, Some(m)),
             Err(e) if e.is_retryable() && sweep.faults.is_some() && attempts < max_attempts => {
-                continue
+                // Deterministic in (config, point seed, attempt): the
+                // pause schedule never perturbs results, only pacing.
+                let pause = sweep.backoff.delay(exp.seed, attempts);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                continue;
             }
             Err(e) => return (Outcome::Failed { error: e, attempts }, None),
         }
     }
+}
+
+/// Flattens an error rendering into one CSV cell: commas and newlines
+/// become `;` so the row structure survives any failure message.
+fn csv_sanitize(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| match c {
+            ',' | '\n' | '\r' => ';',
+            c => c,
+        })
+        .collect()
 }
 
 impl FigureData {
@@ -342,11 +436,14 @@ impl FigureData {
         out
     }
 
-    /// Renders the figure as CSV (`figure,app,net,metric,procs,series,value`).
-    /// Failed points emit the literal `FAILED` so downstream consumers
-    /// fail loudly instead of silently plotting `NaN` as zero.
+    /// Renders the figure as CSV
+    /// (`figure,app,net,metric,procs,machine,value,reason`). Failed
+    /// points emit the literal `FAILED` so downstream consumers fail
+    /// loudly instead of silently plotting `NaN` as zero, and carry the
+    /// failure's rendering in the `reason` column (empty for completed
+    /// points) so salvaged partial figures stay machine-readable.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("figure,app,net,metric,procs,machine,value\n");
+        let mut out = String::from("figure,app,net,metric,procs,machine,value,reason\n");
         for s in &self.series {
             for (i, &p) in self.procs.iter().enumerate() {
                 let v = s.values[i];
@@ -355,15 +452,20 @@ impl FigureData {
                 } else {
                     "FAILED".to_string()
                 };
+                let reason = match &s.outcomes[i] {
+                    Outcome::Ok => String::new(),
+                    Outcome::Failed { error, .. } => csv_sanitize(&error.to_string()),
+                };
                 out.push_str(&format!(
-                    "{},{},{},{:?},{},{},{}\n",
+                    "{},{},{},{:?},{},{},{},{}\n",
                     self.spec.id,
                     self.spec.app,
                     self.spec.net,
                     self.spec.metric,
                     p,
                     s.machine,
-                    cell
+                    cell,
+                    reason
                 ));
             }
         }
@@ -700,6 +802,74 @@ mod tests {
             },
         );
         assert_eq!(*finished.borrow(), data.series.len() * data.procs.len());
+    }
+
+    #[test]
+    fn journaled_sweep_matches_plain_and_replays_without_simulating() {
+        use crate::journal::SweepJournal;
+        let spec = figures::by_id("F1").unwrap();
+        let sweep = SweepConfig::default();
+        let plain = run_figure_with(spec, SizeClass::Test, &[2, 4], 5, sweep);
+
+        let dir = std::env::temp_dir().join("spasm-sweep-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-f1.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // First journaled run: identical output, every point recorded.
+        let j = SweepJournal::create(&path, spec, SizeClass::Test, &[2, 4], 5, &sweep).unwrap();
+        let first = run_figure_journaled(spec, SizeClass::Test, &[2, 4], 5, sweep, &j, |_| {});
+        assert!(j.io_error().is_none());
+        assert_eq!(first.to_csv(), plain.to_csv());
+        drop(j);
+
+        // Resume over the complete journal: zero fresh simulations, and
+        // still byte-identical tables and CSV.
+        let r = SweepJournal::resume(&path, spec, SizeClass::Test, &[2, 4], 5, &sweep).unwrap();
+        assert_eq!(r.replayed(), spec.machines.len() * 2);
+        let mut fresh = 0usize;
+        let resumed = run_figure_journaled(spec, SizeClass::Test, &[2, 4], 5, sweep, &r, |ev| {
+            if matches!(ev, ExecEvent::Finished { .. }) {
+                fresh += 1;
+            }
+        });
+        assert_eq!(fresh, 0, "a complete journal must replay every point");
+        assert_eq!(resumed.to_csv(), plain.to_csv());
+        assert_eq!(resumed.render_table(), plain.render_table());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_reason_column_carries_the_failure_sanitized() {
+        let spec = figures::FigureSpec {
+            id: "RC",
+            app: AppId::Ep,
+            net: Net::Full,
+            metric: Metric::ExecTime,
+            machines: &[Machine::Pram],
+            expect: "reason column",
+        };
+        let data = run_figure(&spec, SizeClass::Test, &[2, 3], 1);
+        let csv = data.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "figure,app,net,metric,procs,machine,value,reason"
+        );
+        let ok_row = lines.next().unwrap();
+        assert!(
+            ok_row.ends_with(','),
+            "ok rows carry an empty reason: {ok_row}"
+        );
+        let failed_row = lines.next().unwrap();
+        assert!(failed_row.contains(",3,pram,FAILED,"), "{failed_row}");
+        assert!(failed_row.contains("invalid configuration"), "{failed_row}");
+        // Rows stay 8 columns even though error renderings may contain
+        // commas (sanitized to ';').
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), 8, "{line}");
+        }
+        assert_eq!(csv_sanitize("a,b\nc"), "a;b;c");
     }
 
     #[test]

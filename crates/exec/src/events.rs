@@ -52,6 +52,20 @@ pub enum ExecEvent {
         /// Rendered panic payload.
         message: String,
     },
+    /// The job ran past its per-job wall-clock deadline: the watchdog
+    /// cancelled it while it was still running, and when its closure
+    /// eventually returned the result was discarded as
+    /// [`JobError::Deadline`](crate::JobError::Deadline).
+    Deadlined {
+        /// Submission index of the job.
+        job: usize,
+        /// Worker that ran it.
+        worker: usize,
+        /// Wall-clock time the job actually took before returning.
+        wall: Duration,
+        /// The deadline it overran.
+        limit: Duration,
+    },
     /// The job was dropped without running because the pool was
     /// cancelled before a worker reached it.
     Cancelled {
@@ -70,6 +84,7 @@ impl ExecEvent {
             | ExecEvent::Started { job, .. }
             | ExecEvent::Finished { job, .. }
             | ExecEvent::Panicked { job, .. }
+            | ExecEvent::Deadlined { job, .. }
             | ExecEvent::Cancelled { job, .. } => job,
         }
     }
@@ -87,6 +102,8 @@ pub struct ExecStats {
     pub finished: usize,
     /// Jobs whose closure panicked.
     pub panicked: usize,
+    /// Jobs cancelled mid-run by the per-job deadline watchdog.
+    pub deadlined: usize,
     /// Jobs dropped by cancellation before starting.
     pub cancelled: usize,
     /// Wall-clock time of the whole batch (queue to last completion).
@@ -116,6 +133,10 @@ impl ExecStats {
             }
             ExecEvent::Panicked { wall, .. } => {
                 self.panicked += 1;
+                self.busy += *wall;
+            }
+            ExecEvent::Deadlined { wall, .. } => {
+                self.deadlined += 1;
                 self.busy += *wall;
             }
             ExecEvent::Cancelled { .. } => self.cancelled += 1,

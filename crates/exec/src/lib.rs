@@ -89,6 +89,18 @@ pub enum JobError {
     Panicked(String),
     /// The pool was cancelled before a worker reached this job.
     Cancelled(CancelReason),
+    /// The job overran its per-job wall-clock deadline
+    /// ([`ExecConfig::deadline`]). The watchdog *cancels* an overdue
+    /// job — it never kills the thread — so the closure ran to
+    /// completion, but its result was discarded: once the deadline has
+    /// expired the job is deadlined, whatever its closure later
+    /// returns (there is no race between expiry and the result-slot
+    /// write; see the pool's phase protocol).
+    Deadline {
+        /// The deadline the job overran. (Deliberately not the elapsed
+        /// time: the rendered error stays byte-stable across runs.)
+        limit: Duration,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -96,11 +108,19 @@ impl fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::Cancelled(reason) => write!(f, "job not run: {reason}"),
+            JobError::Deadline { limit } => {
+                write!(f, "job overran its {limit:?} wall-clock deadline")
+            }
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// How often the deadline watchdog wakes to scan running jobs; expiry
+/// resolution is therefore ~this coarse, which is fine for deadlines
+/// meant to catch minute-scale hangs.
+const WATCHDOG_TICK: Duration = Duration::from_millis(2);
 
 const CANCEL_NONE: u8 = 0;
 const CANCEL_USER: u8 = 1;
@@ -187,6 +207,14 @@ pub struct ExecConfig {
     /// still complete — pair with a per-run budget (the experiment
     /// layer's `RunBudget`) so individual runs cannot hang forever.
     pub wall_budget: Option<Duration>,
+    /// Per-job wall-clock deadline, enforced by a monotonic-clock
+    /// watchdog thread. An overdue job is *cancelled* (cooperatively —
+    /// the closure keeps running and may poll
+    /// [`JobCtx::deadline_expired`] to bail out early), and its slot
+    /// records [`JobError::Deadline`] no matter what the closure
+    /// returns after expiry. `None` (the default) spawns no watchdog
+    /// and adds no per-job cost.
+    pub deadline: Option<Duration>,
     /// External cancellation handle; clone it before passing the config
     /// to keep the ability to cancel mid-batch.
     pub cancel: CancelToken,
@@ -246,13 +274,76 @@ pub struct JobCtx<'a> {
     /// This job's derived seed ([`seed_for`]).
     pub seed: u64,
     cancel: &'a CancelToken,
+    /// This job's lifecycle phase, when a deadline watchdog is active.
+    phase: Option<&'a AtomicU8>,
 }
 
 impl JobCtx<'_> {
-    /// True if the batch has been cancelled; long-running jobs may poll
-    /// this to bail out early (e.g. by tightening their own budget).
+    /// True if the batch has been cancelled *or* this job's own
+    /// deadline has expired; long-running jobs may poll this to bail
+    /// out early (e.g. by tightening their own budget).
     pub fn cancelled(&self) -> bool {
-        self.cancel.is_cancelled()
+        self.cancel.is_cancelled() || self.deadline_expired()
+    }
+
+    /// True once the watchdog has expired this job's deadline. The
+    /// job's result is already forfeit ([`JobError::Deadline`]);
+    /// returning early just frees the worker sooner.
+    pub fn deadline_expired(&self) -> bool {
+        self.phase
+            .is_some_and(|p| p.load(Ordering::Acquire) == PHASE_EXPIRED)
+    }
+}
+
+/// Deterministic capped exponential backoff for retryable failures.
+///
+/// The schedule is pure: the delay before retry `k` depends only on
+/// `(self, seed, k)`, so a resumed sweep waits out exactly the pauses
+/// the original would have — no global clock, no shared RNG. Delay
+/// before retry `k` (1-based) is drawn from
+/// `[ceil/2, ceil]` where `ceil = min(cap, base << (k-1))`, with the
+/// jitter derived by splitmix from `(seed, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry ceiling; `ZERO` disables backoff entirely.
+    pub base: Duration,
+    /// Upper bound the exponential curve saturates at.
+    pub cap: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::NONE
+    }
+}
+
+impl Backoff {
+    /// No backoff: every delay is zero.
+    pub const NONE: Backoff = Backoff {
+        base: Duration::ZERO,
+        cap: Duration::ZERO,
+    };
+
+    /// A capped exponential schedule starting at `base`.
+    pub fn exponential(base: Duration, cap: Duration) -> Self {
+        Backoff { base, cap }
+    }
+
+    /// The delay before retry `retry` (1-based; `0` and a zero `base`
+    /// both yield zero). Pure and deterministic in `(self, seed, retry)`.
+    pub fn delay(&self, seed: u64, retry: u32) -> Duration {
+        if self.base.is_zero() || retry == 0 {
+            return Duration::ZERO;
+        }
+        let to_ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let base_ns = to_ns(self.base);
+        let cap_ns = to_ns(self.cap).max(base_ns);
+        let shift = (retry - 1).min(63);
+        let ceiling = base_ns.saturating_mul(1u64 << shift).min(cap_ns);
+        let half = ceiling / 2;
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(retry));
+        let jitter = spasm_prng::splitmix64(&mut s) % (ceiling - half + 1);
+        Duration::from_nanos(half + jitter)
     }
 }
 
@@ -314,6 +405,12 @@ where
         spent: AtomicU64::new(0),
         cells: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
         slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        phases: if config.deadline.is_some() {
+            (0..n).map(|_| JobPhase::default()).collect()
+        } else {
+            Vec::new()
+        },
+        filled: AtomicUsize::new(0),
         started_at,
     };
 
@@ -324,16 +421,29 @@ where
     }
 
     if workers <= 1 {
-        // Inline serial path: same pool code, no threads, synchronous
-        // event delivery.
+        // Inline serial path: same pool code, synchronous event
+        // delivery. A deadline still needs the watchdog thread — it is
+        // what flips an overdue job's phase while the job runs.
         let mut emit = |ev: ExecEvent| {
             stats.absorb(&ev);
             observe(&ev);
         };
-        while pool.run_next(0, &mut emit) {}
+        if let Some(limit) = config.deadline {
+            std::thread::scope(|s| {
+                let pool = &pool;
+                s.spawn(move || pool.watchdog(limit));
+                while pool.run_next(0, &mut emit) {}
+            });
+        } else {
+            while pool.run_next(0, &mut emit) {}
+        }
     } else {
         let (tx, rx) = mpsc::channel::<ExecEvent>();
         std::thread::scope(|s| {
+            if let Some(limit) = config.deadline {
+                let pool = &pool;
+                s.spawn(move || pool.watchdog(limit));
+            }
             for worker in 0..workers {
                 let tx = tx.clone();
                 let pool = &pool;
@@ -375,6 +485,26 @@ where
     ExecReport { results, stats }
 }
 
+/// Lifecycle phases of one job under deadline supervision. The worker
+/// and the watchdog race on a single CAS: worker `Running → Done` at
+/// result-slot write, watchdog `Running → Expired` at deadline expiry.
+/// Exactly one wins, so a job can never both expire and land `Ok` —
+/// the loser of the CAS observes the winner's verdict.
+// (Pending is the AtomicU8 default, 0; no code needs to name it.)
+const PHASE_RUNNING: u8 = 1;
+const PHASE_DONE: u8 = 2;
+const PHASE_EXPIRED: u8 = 3;
+
+/// Per-job deadline-supervision state (allocated only when
+/// [`ExecConfig::deadline`] is set).
+#[derive(Debug, Default)]
+struct JobPhase {
+    phase: AtomicU8,
+    /// When the worker picked the job up; `None` until then. Instant is
+    /// monotonic, so suspend/clock-step cannot fire the watchdog early.
+    started: Mutex<Option<Instant>>,
+}
+
 /// The shared state of one batch, borrowed by every worker.
 struct Pool<'a, T, R, F> {
     config: &'a ExecConfig,
@@ -388,6 +518,11 @@ struct Pool<'a, T, R, F> {
     cells: Vec<Mutex<Option<T>>>,
     /// One write-once result slot per job, in submission order.
     slots: Vec<Mutex<Option<Result<R, JobError>>>>,
+    /// Per-job phase state for the deadline watchdog; empty when no
+    /// deadline is configured (zero overhead on the common path).
+    phases: Vec<JobPhase>,
+    /// Slots written so far — the watchdog's termination condition.
+    filled: AtomicUsize,
     started_at: Instant,
 }
 
@@ -416,29 +551,56 @@ where
             .take()
             .expect("each job claimed exactly once");
         emit(ExecEvent::Started { job, worker });
+        let t0 = Instant::now();
+        if let Some(state) = self.phases.get(job) {
+            // Publish the start time before entering Running, so the
+            // watchdog never sees a Running job without a start time.
+            *state.started.lock().expect("phase start poisoned") = Some(t0);
+            state.phase.store(PHASE_RUNNING, Ordering::Release);
+        }
         let ctx = JobCtx {
             job,
             seed: seed_for(self.config.seed, job as u64),
             cancel: &self.config.cancel,
+            phase: self.phases.get(job).map(|s| &s.phase),
         };
-        let t0 = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| (self.run)(&ctx, item))) {
             Ok(JobOutput {
                 value,
                 cost,
                 faults,
             }) => {
-                self.charge(cost);
-                self.fill(job, Ok(value));
-                emit(ExecEvent::Finished {
-                    job,
-                    worker,
-                    wall: t0.elapsed(),
-                    cost,
-                    faults,
-                });
+                if self.finish_phase(job) {
+                    // The watchdog expired this job while it ran: its
+                    // result is forfeit, whatever the closure returned
+                    // and however it observed cancellation. The CAS in
+                    // finish_phase is the single arbiter, so there is
+                    // no expiry/slot-write race to lose.
+                    let limit = self.config.deadline.expect("expired implies a deadline");
+                    self.fill(job, Err(JobError::Deadline { limit }));
+                    emit(ExecEvent::Deadlined {
+                        job,
+                        worker,
+                        wall: t0.elapsed(),
+                        limit,
+                    });
+                } else {
+                    self.charge(cost);
+                    self.fill(job, Ok(value));
+                    emit(ExecEvent::Finished {
+                        job,
+                        worker,
+                        wall: t0.elapsed(),
+                        cost,
+                        faults,
+                    });
+                }
             }
             Err(payload) => {
+                // A panic outranks a deadline expiry: the panic message
+                // says *why* the job died, a deadline only that it was
+                // slow. finish_phase still runs to settle the CAS.
+                self.finish_phase(job);
                 let message = panic_message(payload.as_ref());
                 self.fill(job, Err(JobError::Panicked(message.clone())));
                 emit(ExecEvent::Panicked {
@@ -454,6 +616,50 @@ where
 
     fn fill(&self, job: usize, result: Result<R, JobError>) {
         *self.slots[job].lock().expect("result slot poisoned") = Some(result);
+        self.filled.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Settles the worker/watchdog race for `job`: CAS `Running → Done`.
+    /// Returns true if the watchdog won (the job is expired) — the
+    /// caller must then record [`JobError::Deadline`], never `Ok`.
+    fn finish_phase(&self, job: usize) -> bool {
+        match self.phases.get(job) {
+            None => false,
+            Some(state) => state
+                .phase
+                .compare_exchange(
+                    PHASE_RUNNING,
+                    PHASE_DONE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err(),
+        }
+    }
+
+    /// The deadline watchdog body: scan Running jobs on the monotonic
+    /// clock, expire any that overran `limit`, exit once every result
+    /// slot is written. Cancels cooperatively — it flips a phase flag;
+    /// it never kills a thread mid-simulation.
+    fn watchdog(&self, limit: Duration) {
+        while self.filled.load(Ordering::Acquire) < self.slots.len() {
+            for state in &self.phases {
+                if state.phase.load(Ordering::Acquire) == PHASE_RUNNING {
+                    let started = *state.started.lock().expect("phase start poisoned");
+                    if started.is_some_and(|t0| t0.elapsed() > limit) {
+                        // Worker may have CASed to Done meanwhile —
+                        // then this fails and the result is kept.
+                        let _ = state.phase.compare_exchange(
+                            PHASE_RUNNING,
+                            PHASE_EXPIRED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                    }
+                }
+            }
+            std::thread::sleep(WATCHDOG_TICK);
+        }
     }
 
     /// Charges `cost` against the shared budget; the job that crosses the
@@ -700,5 +906,101 @@ mod tests {
         t.trigger(CANCEL_COST);
         t.cancel();
         assert_eq!(t.reason(), Some(CancelReason::CostBudget));
+    }
+
+    #[test]
+    fn deadline_forfeits_the_result_even_when_the_closure_returns_ok() {
+        // The exact race the phase CAS exists for: the job *observes*
+        // its expiry, then returns Ok anyway. The slot must still
+        // record Deadline — the watchdog's verdict is already final.
+        let limit = Duration::from_millis(10);
+        let mut deadlined_events = 0;
+        let report = execute(
+            ExecConfig {
+                jobs: 1,
+                deadline: Some(limit),
+                ..ExecConfig::default()
+            },
+            vec![()],
+            |ctx, ()| {
+                while !ctx.deadline_expired() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                assert!(ctx.cancelled(), "own expiry must read as cancelled");
+                JobOutput::plain("raced to ok")
+            },
+            |ev| {
+                if matches!(ev, ExecEvent::Deadlined { .. }) {
+                    deadlined_events += 1;
+                }
+            },
+        );
+        assert_eq!(report.results[0], Err(JobError::Deadline { limit }));
+        assert_eq!(report.stats.deadlined, 1);
+        assert_eq!(report.stats.finished, 0);
+        assert_eq!(deadlined_events, 1);
+    }
+
+    #[test]
+    fn jobs_within_deadline_are_untouched() {
+        let report = execute(
+            ExecConfig {
+                jobs: 2,
+                deadline: Some(Duration::from_secs(60)),
+                ..ExecConfig::default()
+            },
+            (0u64..8).collect(),
+            |_ctx, v| JobOutput::plain(v * 3),
+            |_| {},
+        );
+        assert!(report.all_ok());
+        assert_eq!(report.stats.deadlined, 0);
+        assert_eq!(*report.results[5].as_ref().unwrap(), 15);
+    }
+
+    #[test]
+    fn deadlined_job_panicking_still_reports_the_panic() {
+        // A panic carries more diagnosis than "slow"; it wins.
+        let report = execute(
+            ExecConfig {
+                jobs: 1,
+                deadline: Some(Duration::from_millis(5)),
+                ..ExecConfig::default()
+            },
+            vec![()],
+            |ctx, ()| -> JobOutput<()> {
+                while !ctx.deadline_expired() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                panic!("died late");
+            },
+            |_| {},
+        );
+        match &report.results[0] {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("died late"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_pure_capped_and_bounded() {
+        let b = Backoff::exponential(Duration::from_millis(10), Duration::from_millis(80));
+        assert_eq!(Backoff::NONE.delay(7, 3), Duration::ZERO);
+        assert_eq!(b.delay(7, 0), Duration::ZERO);
+        // Pure: same inputs, same delay; different retries decorrelate.
+        assert_eq!(b.delay(7, 1), b.delay(7, 1));
+        assert_ne!(b.delay(7, 1), b.delay(8, 1));
+        // Each delay lies in [ceil/2, ceil] for ceil = min(cap, base<<k).
+        for (retry, ceil_ms) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80), (5, 80), (60, 80)] {
+            let d = b.delay(1995, retry);
+            let ceil = Duration::from_millis(ceil_ms);
+            assert!(
+                d >= ceil / 2 && d <= ceil,
+                "retry {retry}: {d:?} vs {ceil:?}"
+            );
+        }
+        // Saturation safety: a huge retry index must not overflow.
+        let wide = Backoff::exponential(Duration::from_secs(1), Duration::from_secs(30));
+        assert!(wide.delay(3, u32::MAX) <= Duration::from_secs(30));
     }
 }

@@ -9,7 +9,7 @@ use spasm_exec::{
     execute, seed_for, CancelReason, CancelToken, CostBudget, ExecConfig, ExecEvent, JobError,
     JobOutput,
 };
-use spasm_testkit::{check, gens, prop_assert, prop_assert_eq};
+use spasm_testkit::{check, check_with, gens, prop_assert, prop_assert_eq, Config};
 
 #[test]
 fn parallel_results_match_serial_for_any_worker_count() {
@@ -344,6 +344,73 @@ fn first_cancellation_reason_wins_over_a_simultaneous_budget_trip() {
                     "{r:?}"
                 );
             }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn deadline_expiry_observed_by_a_job_never_races_to_ok() {
+    // Regression for the cancel-path race: a job that *sees* its own
+    // deadline expire (via `ctx.deadline_expired()`) and then returns a
+    // value anyway must land in its slot as `Deadline`, never `Ok` —
+    // the watchdog's verdict is latched by the phase CAS before the
+    // job's poll can observe it. Jobs sleep per a shuffled permutation
+    // so completion order is adversarial relative to submission order,
+    // and some jobs straddle the deadline while others beat it.
+    check_with(
+        Config {
+            cases: 12,
+            ..Config::default()
+        },
+        "exec_deadline_race",
+        &gens::tuple2(gens::usizes(1..4), gens::shuffled(0..8)),
+        |(workers, perm)| {
+            let limit = Duration::from_millis(4);
+            let n = perm.len();
+            let mut deadlined_events = vec![false; n];
+            let report = execute(
+                ExecConfig {
+                    jobs: *workers,
+                    deadline: Some(limit),
+                    ..ExecConfig::default()
+                },
+                perm.clone(),
+                |ctx, rank| {
+                    // ~1ms of polled sleep per rank unit: rank 0 returns
+                    // immediately, high ranks overrun the 4ms limit.
+                    let mut observed = false;
+                    for _ in 0..rank {
+                        std::thread::sleep(Duration::from_millis(1));
+                        observed |= ctx.deadline_expired();
+                    }
+                    JobOutput::plain((ctx.job, observed))
+                },
+                |ev| {
+                    if let ExecEvent::Deadlined { job, limit: l, .. } = ev {
+                        assert_eq!(*l, limit);
+                        deadlined_events[*job] = true;
+                    }
+                },
+            );
+            let mut deadlined = 0usize;
+            for (i, r) in report.results.iter().enumerate() {
+                match r {
+                    Ok((job, observed)) => {
+                        prop_assert_eq!(*job, i);
+                        prop_assert!(!observed, "job {} observed expiry yet won the slot", i);
+                        prop_assert!(!deadlined_events[i], "job {} Ok despite Deadlined event", i);
+                    }
+                    Err(JobError::Deadline { limit: l }) => {
+                        prop_assert_eq!(*l, limit);
+                        prop_assert!(deadlined_events[i], "job {} Deadline without event", i);
+                        deadlined += 1;
+                    }
+                    other => return Err(format!("job {i}: unexpected {other:?}")),
+                }
+            }
+            prop_assert_eq!(report.stats.deadlined, deadlined);
+            prop_assert_eq!(report.stats.finished + report.stats.deadlined, n);
             Ok(())
         },
     );

@@ -1,0 +1,601 @@
+//! # spasm-journal — a crash-safe write-ahead journal for sweeps
+//!
+//! Figure sweeps are hour-scale batches of minute-scale points; a
+//! SIGKILL, OOM, or power cut at minute 50 must not throw away every
+//! completed point. This crate supplies the durability layer: an
+//! append-only journal of opaque records (the experiment layer encodes
+//! one record per completed sweep point) that survives being killed at
+//! **any** byte boundary.
+//!
+//! Durability contract:
+//!
+//! * every record is **length-prefixed and CRC64-checksummed**
+//!   ([`crc64`], in-tree ECMA-182 — no external deps);
+//! * every commit is **write-then-atomic-rename**: the full journal is
+//!   written to a sibling temp file, fsynced, and renamed over the live
+//!   path, so the on-disk journal transitions atomically from *n* to
+//!   *n + 1* records (journals are KB-scale — one record per
+//!   multi-second simulation — so rewriting is cheap and buys true
+//!   atomicity);
+//! * a **torn tail** (a final record cut short by a crash, a non-atomic
+//!   filesystem, or an external truncation) is detected on open and
+//!   repaired by truncating to the longest valid prefix — it is never
+//!   propagated to the reader;
+//! * a **corrupt interior record** (full frame present, checksum wrong)
+//!   is *not* silently dropped: [`Journal::open`] fails with
+//!   [`JournalError::CorruptRecord`] naming the record and offset,
+//!   because past the first bad frame the stream cannot be resynced and
+//!   silently skipping data would forge history;
+//! * the header carries a caller-supplied **config fingerprint**
+//!   ([`Fingerprint`]); opening with a different fingerprint fails with
+//!   [`JournalError::FingerprintMismatch`] instead of resuming a sweep
+//!   under a different configuration.
+//!
+//! The crate is hermetic: `std` only.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_journal::{Fingerprint, Journal};
+//!
+//! let dir = std::env::temp_dir().join("spasm-journal-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("sweep.journal");
+//! let _ = std::fs::remove_file(&path);
+//!
+//! let mut fp = Fingerprint::new();
+//! fp.absorb_str("F1");
+//! fp.absorb_u64(1995);
+//! let fp = fp.finish();
+//!
+//! let mut j = Journal::create(&path, fp).unwrap();
+//! j.append(b"point 1").unwrap();
+//! j.append(b"point 2").unwrap();
+//! drop(j);
+//!
+//! let (j, recovery) = Journal::open(&path, fp).unwrap();
+//! assert_eq!(recovery.records, vec![b"point 1".to_vec(), b"point 2".to_vec()]);
+//! assert_eq!(j.records(), 2);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc64;
+
+pub use crc64::{crc64, Crc64};
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a spasm journal and its format version (the
+/// trailing digit — a format change bumps it, and older files fail
+/// typed with [`JournalError::NotAJournal`]).
+const MAGIC: &[u8; 8] = b"SPASMJL1";
+
+/// Header bytes: magic plus the little-endian config fingerprint.
+const HEADER_LEN: usize = MAGIC.len() + 8;
+
+/// Record frame overhead: `u32` payload length plus `u64` CRC64.
+const FRAME_LEN: usize = 4 + 8;
+
+/// An incremental digest over configuration facts, yielding the `u64`
+/// stored in the journal header. Streams through [`Crc64`]; strings and
+/// byte slices are length-prefixed so absorbed fields cannot alias
+/// (`("ab","c")` and `("a","bc")` digest differently).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fingerprint {
+    crc: Crc64,
+}
+
+impl Fingerprint {
+    /// A fresh fingerprint builder.
+    pub fn new() -> Self {
+        Fingerprint { crc: Crc64::new() }
+    }
+
+    /// Absorbs a length-prefixed byte slice.
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        self.absorb_u64(bytes.len() as u64);
+        self.crc.update(bytes);
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string.
+    pub fn absorb_str(&mut self, s: &str) {
+        self.absorb_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn absorb_u64(&mut self, v: u64) {
+        self.crc.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern, so fingerprints distinguish
+    /// values `==` cannot (e.g. `0.0` vs `-0.0`) and never depend on
+    /// float formatting.
+    pub fn absorb_f64(&mut self, v: f64) {
+        self.absorb_u64(v.to_bits());
+    }
+
+    /// The digest of everything absorbed.
+    pub fn finish(&self) -> u64 {
+        self.crc.finish()
+    }
+}
+
+/// Why a journal operation failed. Every variant names the path; I/O
+/// variants carry the failing operation and the OS error.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// What the journal was doing ("create", "read", "commit", …).
+        op: &'static str,
+        /// The journal path.
+        path: PathBuf,
+        /// The OS error.
+        error: std::io::Error,
+    },
+    /// [`Journal::create`] refused to clobber an existing file — resume
+    /// it or delete it explicitly.
+    AlreadyExists {
+        /// The journal path.
+        path: PathBuf,
+    },
+    /// The file exists but does not start with a spasm journal header
+    /// (wrong magic, or shorter than a header).
+    NotAJournal {
+        /// The offending path.
+        path: PathBuf,
+    },
+    /// The journal was written under a different configuration
+    /// fingerprint; resuming would silently mix incompatible sweeps.
+    FingerprintMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// The fingerprint the caller expected.
+        expected: u64,
+        /// The fingerprint stored in the header.
+        found: u64,
+    },
+    /// Record `index`'s frame is fully present but its checksum does
+    /// not match: interior corruption. The stream cannot be resynced
+    /// past it, so the open fails rather than forging a prefix.
+    CorruptRecord {
+        /// The journal path.
+        path: PathBuf,
+        /// Zero-based index of the bad record.
+        index: usize,
+        /// Byte offset of the bad record's frame.
+        offset: usize,
+    },
+    /// A record payload exceeded the frame format's `u32` length limit.
+    RecordTooLarge {
+        /// The attempted payload length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { op, path, error } => {
+                write!(f, "journal {op} failed on {}: {error}", path.display())
+            }
+            JournalError::AlreadyExists { path } => write!(
+                f,
+                "journal {} already exists; resume it or remove it first",
+                path.display()
+            ),
+            JournalError::NotAJournal { path } => {
+                write!(f, "{} is not a spasm journal", path.display())
+            }
+            JournalError::FingerprintMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal {} was written under a different configuration \
+                 (fingerprint {found:#018x}, expected {expected:#018x}); \
+                 refusing to resume",
+                path.display()
+            ),
+            JournalError::CorruptRecord {
+                path,
+                index,
+                offset,
+            } => write!(
+                f,
+                "journal {}: record {index} at byte {offset} failed its \
+                 checksum (interior corruption; cannot resync)",
+                path.display()
+            ),
+            JournalError::RecordTooLarge { len } => {
+                write!(f, "record of {len} bytes exceeds the u32 frame limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Journal::open`] found and did: the valid records, plus how
+/// much (if anything) it truncated to repair a torn tail.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Every valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes dropped from the tail of the file (0 for a clean journal).
+    /// A nonzero value means the last append was torn by a crash and
+    /// the journal was repaired to its longest valid prefix.
+    pub truncated_bytes: usize,
+}
+
+/// A durable append-only journal of opaque records. See the crate docs
+/// for the format and the durability contract.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    /// The full serialized journal (header + records). Source of truth
+    /// for commits: every append rewrites the file from this buffer via
+    /// temp-file + atomic rename.
+    buf: Vec<u8>,
+    records: usize,
+    fingerprint: u64,
+}
+
+impl Journal {
+    /// Creates a new, empty journal at `path` with the given config
+    /// fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::AlreadyExists`] if `path` exists (never clobbers
+    /// a previous sweep's journal), or [`JournalError::Io`].
+    pub fn create(path: impl AsRef<Path>, fingerprint: u64) -> Result<Journal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            return Err(JournalError::AlreadyExists { path });
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&fingerprint.to_le_bytes());
+        let journal = Journal {
+            path,
+            buf,
+            records: 0,
+            fingerprint,
+        };
+        journal.commit()?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal, verifying the header and every record
+    /// checksum. A torn final record is repaired (truncated away, and
+    /// the repaired file committed atomically) and reported via
+    /// [`Recovery::truncated_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::NotAJournal`] for a wrong or missing header,
+    /// [`JournalError::FingerprintMismatch`] if the journal belongs to
+    /// a differently-configured sweep, [`JournalError::CorruptRecord`]
+    /// for interior corruption, or [`JournalError::Io`].
+    pub fn open(
+        path: impl AsRef<Path>,
+        expected_fingerprint: u64,
+    ) -> Result<(Journal, Recovery), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let buf = fs::read(&path).map_err(|error| JournalError::Io {
+            op: "read",
+            path: path.clone(),
+            error,
+        })?;
+        if buf.len() < HEADER_LEN || &buf[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::NotAJournal { path });
+        }
+        let found = u64::from_le_bytes(
+            buf[MAGIC.len()..HEADER_LEN]
+                .try_into()
+                .expect("header slice is exactly 8 bytes"),
+        );
+        if found != expected_fingerprint {
+            return Err(JournalError::FingerprintMismatch {
+                path,
+                expected: expected_fingerprint,
+                found,
+            });
+        }
+
+        // Scan record frames. The scan stops at the first frame that
+        // runs past end-of-file: that is a torn write (the crash window
+        // of an append), repaired by truncation. A frame that is fully
+        // present but fails its CRC is interior corruption and fails
+        // typed instead — truncating there could drop an unbounded
+        // amount of valid history without telling the caller.
+        let mut records = Vec::new();
+        let mut off = HEADER_LEN;
+        loop {
+            let rem = buf.len() - off;
+            if rem == 0 {
+                break;
+            }
+            if rem < FRAME_LEN {
+                break; // torn: not even a whole frame header
+            }
+            let len = u32::from_le_bytes(
+                buf[off..off + 4]
+                    .try_into()
+                    .expect("length slice is exactly 4 bytes"),
+            ) as usize;
+            if rem < FRAME_LEN + len {
+                break; // torn: payload cut short (or a garbage length)
+            }
+            let stored = u64::from_le_bytes(
+                buf[off + 4..off + FRAME_LEN]
+                    .try_into()
+                    .expect("crc slice is exactly 8 bytes"),
+            );
+            let payload = &buf[off + FRAME_LEN..off + FRAME_LEN + len];
+            if crc64(payload) != stored {
+                return Err(JournalError::CorruptRecord {
+                    path,
+                    index: records.len(),
+                    offset: off,
+                });
+            }
+            records.push(payload.to_vec());
+            off += FRAME_LEN + len;
+        }
+
+        let truncated_bytes = buf.len() - off;
+        let mut journal = Journal {
+            path,
+            buf,
+            records: records.len(),
+            fingerprint: found,
+        };
+        if truncated_bytes > 0 {
+            journal.buf.truncate(off);
+            journal.commit()?; // persist the repair
+        }
+        Ok((
+            journal,
+            Recovery {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one record and commits it durably (the call returns only
+    /// after the journal containing the record has been renamed into
+    /// place).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::RecordTooLarge`] or [`JournalError::Io`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| JournalError::RecordTooLarge { len: payload.len() })?;
+        let rollback = self.buf.len();
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&crc64(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        if let Err(e) = self.commit() {
+            self.buf.truncate(rollback); // keep memory consistent with disk
+            return Err(e);
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of committed records.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The header fingerprint this journal was created with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes the in-memory journal image to a sibling temp file,
+    /// fsyncs it, and atomically renames it over the live path, so the
+    /// on-disk journal is always a complete, valid prefix.
+    fn commit(&self) -> Result<(), JournalError> {
+        let io = |op: &'static str| {
+            let path = self.path.clone();
+            move |error| JournalError::Io { op, path, error }
+        };
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut f = fs::File::create(&tmp).map_err(io("create"))?;
+        f.write_all(&self.buf).map_err(io("write"))?;
+        f.sync_all().map_err(io("sync"))?;
+        drop(f);
+        fs::rename(&tmp, &self.path).map_err(io("commit"))?;
+        // Best-effort directory sync so the rename itself is durable;
+        // not all platforms support fsync on directories.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("spasm-journal-unit");
+        fs::create_dir_all(&dir).expect("temp dir is writable");
+        let path = dir.join(name);
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn create_append_reopen_roundtrip() {
+        let path = scratch("roundtrip.journal");
+        let mut j = Journal::create(&path, 42).unwrap();
+        j.append(b"alpha").unwrap();
+        j.append(b"").unwrap();
+        j.append(&[0u8; 300]).unwrap();
+        assert_eq!(j.records(), 3);
+        drop(j);
+        let (j, rec) = Journal::open(&path, 42).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[0], b"alpha");
+        assert_eq!(rec.records[1], b"");
+        assert_eq!(rec.records[2], vec![0u8; 300]);
+        assert_eq!(j.records(), 3);
+        assert_eq!(j.fingerprint(), 42);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let path = scratch("clobber.journal");
+        Journal::create(&path, 1).unwrap();
+        match Journal::create(&path, 1) {
+            Err(JournalError::AlreadyExists { .. }) => {}
+            other => panic!("expected AlreadyExists, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_typed() {
+        let path = scratch("fp.journal");
+        Journal::create(&path, 7).unwrap();
+        match Journal::open(&path, 8) {
+            Err(JournalError::FingerprintMismatch {
+                expected: 8,
+                found: 7,
+                ..
+            }) => {}
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_repaired_on_disk() {
+        let path = scratch("torn.journal");
+        let mut j = Journal::create(&path, 3).unwrap();
+        j.append(b"kept").unwrap();
+        j.append(b"torn-away").unwrap();
+        drop(j);
+        // Cut the final record short by one byte, as a crash mid-write
+        // on a non-atomic filesystem would.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let (_, rec) = Journal::open(&path, 3).unwrap();
+        assert_eq!(rec.records, vec![b"kept".to_vec()]);
+        assert!(rec.truncated_bytes > 0);
+        // The repair was persisted: a second open is clean.
+        let (_, rec) = Journal::open(&path, 3).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.truncated_bytes, 0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_fails_typed_naming_the_record() {
+        let path = scratch("corrupt.journal");
+        let mut j = Journal::create(&path, 3).unwrap();
+        j.append(b"record zero").unwrap();
+        j.append(b"record one").unwrap();
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of record 0 (frame starts at HEADER_LEN).
+        bytes[HEADER_LEN + FRAME_LEN] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path, 3) {
+            Err(JournalError::CorruptRecord {
+                index: 0, offset, ..
+            }) => {
+                assert_eq!(offset, HEADER_LEN);
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn not_a_journal_is_typed() {
+        let path = scratch("plain.txt");
+        fs::write(&path, b"hello").unwrap();
+        assert!(matches!(
+            Journal::open(&path, 0),
+            Err(JournalError::NotAJournal { .. })
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appends_after_repair_continue_the_prefix() {
+        let path = scratch("repair-append.journal");
+        let mut j = Journal::create(&path, 9).unwrap();
+        j.append(b"a").unwrap();
+        j.append(b"b").unwrap();
+        drop(j);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let (mut j, rec) = Journal::open(&path, 9).unwrap();
+        assert_eq!(rec.records, vec![b"a".to_vec()]);
+        j.append(b"c").unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path, 9).unwrap();
+        assert_eq!(rec.records, vec![b"a".to_vec(), b"c".to_vec()]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_builder_separates_fields() {
+        let digest = |f: &dyn Fn(&mut Fingerprint)| {
+            let mut fp = Fingerprint::new();
+            f(&mut fp);
+            fp.finish()
+        };
+        let ab_c = digest(&|fp| {
+            fp.absorb_str("ab");
+            fp.absorb_str("c");
+        });
+        let a_bc = digest(&|fp| {
+            fp.absorb_str("a");
+            fp.absorb_str("bc");
+        });
+        assert_ne!(ab_c, a_bc, "length prefixing must prevent aliasing");
+        assert_ne!(
+            digest(&|fp| fp.absorb_f64(0.0)),
+            digest(&|fp| fp.absorb_f64(-0.0))
+        );
+        assert_eq!(
+            digest(&|fp| fp.absorb_u64(5)),
+            digest(&|fp| fp.absorb_u64(5))
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the journal's crash-safety contract: whatever a
+//! crash (truncation) or bit rot (byte flip) does to the file, `open`
+//! either recovers a valid *prefix* of the appended records or fails
+//! with a typed error — it never panics and never returns altered data.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spasm_journal::{Journal, JournalError};
+use spasm_testkit::{check, gens, prop_assert, prop_assert_eq};
+
+/// Arbitrary record payload bytes.
+fn byte_gen() -> spasm_testkit::Gen<u8> {
+    gens::u64s(0..256).map(|v| v as u8)
+}
+
+/// A unique scratch path per call, so shrinking re-runs never collide.
+fn scratch() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("spasm-journal-props");
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("case-{}-{n}.journal", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// Writes a journal holding `records`, returning its path.
+fn write_journal(records: &[Vec<u8>], fingerprint: u64) -> PathBuf {
+    let path = scratch();
+    let mut j = Journal::create(&path, fingerprint).expect("create in temp dir");
+    for r in records {
+        j.append(r).expect("append in temp dir");
+    }
+    path
+}
+
+#[test]
+fn roundtrip_preserves_every_record() {
+    check(
+        "journal_roundtrip",
+        &gens::vecs(gens::vecs(byte_gen(), 0..40), 0..12),
+        |records| {
+            let path = write_journal(records, 11);
+            let (j, rec) = Journal::open(&path, 11).map_err(|e| e.to_string())?;
+            fs::remove_file(&path).expect("cleanup");
+            prop_assert_eq!(&rec.records, records);
+            prop_assert_eq!(rec.truncated_bytes, 0);
+            prop_assert_eq!(j.records(), records.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncation_anywhere_recovers_a_valid_prefix_or_fails_typed() {
+    check(
+        "journal_truncate_anywhere",
+        &gens::tuple2(
+            gens::vecs(gens::vecs(byte_gen(), 0..24), 1..8),
+            gens::u64s(0..10_000),
+        ),
+        |(records, cut_roll)| {
+            let path = write_journal(records, 5);
+            let bytes = fs::read(&path).expect("journal readable");
+            let cut = (*cut_roll as usize) % bytes.len();
+            fs::write(&path, &bytes[..cut]).expect("truncate");
+            let outcome = Journal::open(&path, 5);
+            let verdict = match outcome {
+                Ok((_, rec)) => {
+                    // Recovered records must be an exact prefix.
+                    prop_assert!(rec.records.len() <= records.len(), "phantom records");
+                    for (i, r) in rec.records.iter().enumerate() {
+                        prop_assert_eq!(r, &records[i], "record {} altered", i);
+                    }
+                    // Cutting inside the record region must drop bytes.
+                    prop_assert!(
+                        rec.records == *records || rec.truncated_bytes > 0 || cut < bytes.len()
+                    );
+                    Ok(())
+                }
+                // A cut inside the 16-byte header is not a journal any
+                // more; that is the only acceptable typed failure here.
+                Err(JournalError::NotAJournal { .. }) => {
+                    prop_assert!(cut < 16, "NotAJournal for a cut at {}", cut);
+                    Ok(())
+                }
+                Err(other) => Err(format!("unexpected error: {other}")),
+            };
+            fs::remove_file(&path).expect("cleanup");
+            verdict
+        },
+    );
+}
+
+#[test]
+fn byte_flip_anywhere_recovers_a_prefix_or_fails_typed() {
+    check(
+        "journal_flip_anywhere",
+        &gens::tuple3(
+            gens::vecs(gens::vecs(byte_gen(), 0..24), 1..8),
+            gens::u64s(0..10_000),
+            gens::u64s(1..256),
+        ),
+        |(records, pos_roll, flip)| {
+            let path = write_journal(records, 5);
+            let mut bytes = fs::read(&path).expect("journal readable");
+            let pos = (*pos_roll as usize) % bytes.len();
+            bytes[pos] ^= *flip as u8; // nonzero: always a real change
+            fs::write(&path, &bytes).expect("corrupt");
+            let outcome = Journal::open(&path, 5);
+            let verdict = match outcome {
+                Ok((_, rec)) => {
+                    // A flip that still opens cleanly may only shorten
+                    // history (e.g. a length-field flip classified as a
+                    // torn tail); surviving records must be unaltered.
+                    prop_assert!(rec.records.len() <= records.len(), "phantom records");
+                    for (i, r) in rec.records.iter().enumerate() {
+                        prop_assert_eq!(r, &records[i], "record {} altered", i);
+                    }
+                    Ok(())
+                }
+                Err(JournalError::NotAJournal { .. }) => {
+                    prop_assert!(pos < 8, "magic damage reported for byte {}", pos);
+                    Ok(())
+                }
+                Err(JournalError::FingerprintMismatch { .. }) => {
+                    prop_assert!(
+                        (8..16).contains(&pos),
+                        "fingerprint damage reported for byte {}",
+                        pos
+                    );
+                    Ok(())
+                }
+                Err(JournalError::CorruptRecord { index, .. }) => {
+                    prop_assert!(index < records.len(), "bad record index {}", index);
+                    prop_assert!(pos >= 16, "record damage reported for header byte {}", pos);
+                    Ok(())
+                }
+                Err(other) => Err(format!("unexpected error: {other}")),
+            };
+            fs::remove_file(&path).expect("cleanup");
+            verdict
+        },
+    );
+}

@@ -53,4 +53,72 @@ if ! grep -q "invariant" <<< "$out"; then
     exit 1
 fi
 
+# Kill-and-resume: a journaled sweep SIGKILLed mid-run and resumed must
+# produce byte-identical stdout to an uninterrupted run. The poll loop
+# waits for the first committed record (anything beyond the 16-byte
+# header) so the kill lands genuinely mid-sweep.
+echo "==> kill-and-resume: journaled sweep survives SIGKILL"
+jdir=$(mktemp -d)
+trap 'rm -rf "$jdir"' EXIT
+timeout 60 ./target/release/figures --figure F2 --size test --procs 2,4,8 \
+    --serial --budget-events 50000000 > "$jdir/ref.out"
+./target/release/figures --figure F2 --size test --procs 2,4,8 \
+    --serial --budget-events 50000000 --journal "$jdir/j" \
+    > /dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 400); do
+    size=$(stat -c %s "$jdir/j.F2" 2>/dev/null || echo 0)
+    [ "$size" -gt 16 ] && break
+    sleep 0.025
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+timeout 60 ./target/release/figures --figure F2 --size test --procs 2,4,8 \
+    --serial --budget-events 50000000 --journal "$jdir/j" --resume \
+    > "$jdir/resume.out"
+if ! diff "$jdir/ref.out" "$jdir/resume.out"; then
+    echo "ERROR: resumed sweep is not byte-identical to the straight run" >&2
+    exit 1
+fi
+
+# Exit-code protocol: 3 = point failures salvaged, 4 = journal
+# fingerprint mismatch, 5 = journal I/O / interior corruption (which
+# must also name the damaged record on stderr).
+echo "==> figures exit codes: salvaged=3, mismatch=4, corrupt=5"
+set +e
+timeout 60 ./target/release/figures --figure F2 --size test --procs 2,3 \
+    --serial > /dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "ERROR: salvaged partial figure exited $rc, expected 3" >&2
+    exit 1
+fi
+set +e
+timeout 60 ./target/release/figures --figure F2 --size test --procs 2,4,8 \
+    --seed 7 --serial --budget-events 50000000 --journal "$jdir/j" --resume \
+    > /dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 4 ]; then
+    echo "ERROR: fingerprint mismatch exited $rc, expected 4" >&2
+    exit 1
+fi
+printf '\x41' | dd of="$jdir/j.F2" bs=1 seek=40 conv=notrunc 2>/dev/null
+set +e
+out=$(timeout 60 ./target/release/figures --figure F2 --size test \
+    --procs 2,4,8 --serial --budget-events 50000000 --journal "$jdir/j" \
+    --resume 2>&1 > /dev/null)
+rc=$?
+set -e
+if [ "$rc" -ne 5 ]; then
+    echo "ERROR: corrupted journal exited $rc, expected 5" >&2
+    exit 1
+fi
+if ! grep -q "record" <<< "$out"; then
+    echo "ERROR: corrupted-journal error did not name the record:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
 echo "==> tier-1 green (total $((SECONDS))s)"

@@ -14,6 +14,8 @@
 //!   processes;
 //! * [`exec`] — deterministic bounded worker pool that parallelizes
 //!   independent experiments with order-preserving results;
+//! * [`journal`] — durable write-ahead journal (CRC64-framed, atomic
+//!   commits) behind crash-safe sweep checkpoint/resume;
 //! * [`topology`] — fully connected / hypercube / mesh networks and
 //!   routing;
 //! * [`net`] — the link-level circuit-switched wormhole network;
@@ -57,6 +59,7 @@ pub use spasm_check as check;
 pub use spasm_core as core;
 pub use spasm_desim as desim;
 pub use spasm_exec as exec;
+pub use spasm_journal as journal;
 pub use spasm_logp as logp;
 pub use spasm_machine as machine;
 pub use spasm_net as net;

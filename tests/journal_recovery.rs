@@ -1,0 +1,190 @@
+//! Whole-stack crash recovery: damage a sweep journal at an arbitrary
+//! byte — truncation (a crash mid-commit) or a flipped bit (rot) — and
+//! the resume path must either repair to a valid prefix and then
+//! complete the figure **byte-identically** to an uninterrupted run, or
+//! refuse with a typed error naming what is wrong. Never a panic, never
+//! a silently different figure.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use spasm::apps::SizeClass;
+use spasm::core::figures;
+use spasm::core::journal::{ResumeError, SweepJournal};
+use spasm::core::sweep::{run_figure_journaled, run_figure_with, SweepConfig};
+use spasm::journal::JournalError;
+use spasm_testkit::{check_with, gens, prop_assert, prop_assert_eq, Config};
+
+const SEED: u64 = 5;
+const PROCS: [usize; 2] = [2, 4];
+
+/// A unique scratch path per call, so shrinking re-runs never collide.
+fn scratch() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("spasm-journal-recovery");
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("case-{}-{n}.journal", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+/// The uninterrupted run's rendering and the bytes of a complete
+/// journal of the same sweep, computed once (the simulations are the
+/// expensive part of this suite).
+fn fixture() -> &'static (String, String, Vec<u8>) {
+    static FIXTURE: OnceLock<(String, String, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = figures::by_id("F1").expect("F1 is a defined figure");
+        let sweep = SweepConfig::default();
+        let clean = run_figure_with(spec, SizeClass::Test, &PROCS, SEED, sweep);
+        let path = scratch();
+        let j = SweepJournal::create(&path, spec, SizeClass::Test, &PROCS, SEED, &sweep)
+            .expect("create in temp dir");
+        let journaled =
+            run_figure_journaled(spec, SizeClass::Test, &PROCS, SEED, sweep, &j, |_| {});
+        assert_eq!(journaled.to_csv(), clean.to_csv());
+        let bytes = fs::read(&path).expect("journal readable");
+        fs::remove_file(&path).expect("cleanup");
+        (clean.to_csv(), clean.render_table(), bytes)
+    })
+}
+
+/// Resumes from a (possibly damaged) journal file and, if the journal
+/// opens, completes the sweep and demands byte-identical output.
+fn resume_and_compare(path: &PathBuf) -> Result<Result<(), ResumeError>, String> {
+    let (clean_csv, clean_table, _) = fixture();
+    let spec = figures::by_id("F1").expect("F1 is a defined figure");
+    let sweep = SweepConfig::default();
+    match SweepJournal::resume(path, spec, SizeClass::Test, &PROCS, SEED, &sweep) {
+        Ok(j) => {
+            let data = run_figure_journaled(spec, SizeClass::Test, &PROCS, SEED, sweep, &j, |_| {});
+            prop_assert_eq!(&data.to_csv(), clean_csv, "CSV diverged after resume");
+            prop_assert_eq!(
+                &data.render_table(),
+                clean_table,
+                "table diverged after resume"
+            );
+            Ok(Ok(()))
+        }
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+#[test]
+fn truncation_anywhere_resumes_byte_identical_or_fails_typed() {
+    let (_, _, bytes) = fixture();
+    let len = bytes.len() as u64;
+    check_with(
+        Config {
+            cases: 24,
+            ..Config::default()
+        },
+        "journal_recovery_truncate",
+        &gens::u64s(0..len),
+        |&cut| {
+            let path = scratch();
+            fs::write(&path, &fixture().2[..cut as usize]).expect("write damaged copy");
+            let verdict = match resume_and_compare(&path)? {
+                Ok(()) => Ok(()),
+                // A cut inside the 16-byte header leaves no journal to
+                // resume; everything past it must repair and complete.
+                Err(ResumeError::Journal(JournalError::NotAJournal { .. })) => {
+                    prop_assert!(cut < 16, "NotAJournal for a cut at byte {}", cut);
+                    Ok(())
+                }
+                Err(other) => Err(format!("unexpected error for cut {cut}: {other}")),
+            };
+            fs::remove_file(&path).expect("cleanup");
+            verdict
+        },
+    );
+}
+
+#[test]
+fn byte_flip_anywhere_resumes_byte_identical_or_fails_typed() {
+    let (_, _, bytes) = fixture();
+    let len = bytes.len() as u64;
+    check_with(
+        Config {
+            cases: 24,
+            ..Config::default()
+        },
+        "journal_recovery_flip",
+        &gens::tuple2(gens::u64s(0..len), gens::u64s(1..256)),
+        |&(pos, flip)| {
+            let path = scratch();
+            let mut damaged = fixture().2.clone();
+            damaged[pos as usize] ^= flip as u8;
+            fs::write(&path, &damaged).expect("write damaged copy");
+            let verdict = match resume_and_compare(&path)? {
+                // Opened: the flip read as a torn tail; the surviving
+                // prefix replayed and the rest re-ran to the same bytes.
+                Ok(()) => Ok(()),
+                Err(ResumeError::Journal(JournalError::NotAJournal { .. })) => {
+                    prop_assert!(pos < 8, "magic damage reported for byte {}", pos);
+                    Ok(())
+                }
+                Err(ResumeError::Journal(JournalError::FingerprintMismatch { .. })) => {
+                    prop_assert!(
+                        (8..16).contains(&pos),
+                        "fingerprint damage reported for byte {}",
+                        pos
+                    );
+                    Ok(())
+                }
+                // Interior corruption must name the damaged record.
+                Err(ResumeError::Journal(JournalError::CorruptRecord { index, .. })) => {
+                    prop_assert!(pos >= 16, "record damage reported for header byte {}", pos);
+                    prop_assert!(index < 6, "record index {} out of range", index);
+                    Ok(())
+                }
+                // A flip inside a payload that dodged the CRC is
+                // effectively impossible; decode failures would land
+                // here and are still typed.
+                Err(ResumeError::BadRecord { .. }) => {
+                    prop_assert!(pos >= 16, "payload damage reported for byte {}", pos);
+                    Ok(())
+                }
+                Err(other) => Err(format!("unexpected error for flip at {pos}: {other}")),
+            };
+            fs::remove_file(&path).expect("cleanup");
+            verdict
+        },
+    );
+}
+
+#[test]
+fn resume_under_a_different_configuration_is_refused() {
+    let path = scratch();
+    fs::write(&path, &fixture().2).expect("write journal copy");
+    let spec = figures::by_id("F1").expect("F1 is a defined figure");
+    // Same file, different seed: the fingerprint must refuse it.
+    match SweepJournal::resume(
+        &path,
+        spec,
+        SizeClass::Test,
+        &PROCS,
+        SEED + 1,
+        &SweepConfig::default(),
+    ) {
+        Err(e) => assert!(e.is_fingerprint_mismatch(), "{e}"),
+        Ok(_) => panic!("a mismatched fingerprint was accepted"),
+    }
+    // A different figure entirely: also refused, not mixed.
+    let other = figures::by_id("F2").expect("F2 is a defined figure");
+    match SweepJournal::resume(
+        &path,
+        other,
+        SizeClass::Test,
+        &PROCS,
+        SEED,
+        &SweepConfig::default(),
+    ) {
+        Err(e) => assert!(e.is_fingerprint_mismatch(), "{e}"),
+        Ok(_) => panic!("a mismatched fingerprint was accepted"),
+    }
+    fs::remove_file(&path).expect("cleanup");
+}
