@@ -66,33 +66,55 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    block: u64,
-    state: BState,
-    stamp: u64,
-}
-
 /// A set-associative cache indexed by block number.
 ///
 /// The cache stores *states only* — simulated data values live in the
 /// machine's value store, so the cache answers "is this block resident and
 /// with what rights", which is all the timing models need.
+///
+/// Lines are kept split by access pattern: a flat tag array (`blocks`)
+/// indexed by `set * assoc + way` that the hit/miss scan walks, and a
+/// parallel `meta` array holding the LRU stamp and coherence state that
+/// are only touched once a way is chosen. The scan therefore stays within
+/// one or two cache lines of host memory instead of striding over full
+/// line records, and the hit bookkeeping costs a single indexed access.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// Block number per way slot (`set * assoc + way`); valid for ways
+    /// below the set's `lens` entry.
+    blocks: Vec<u64>,
+    /// LRU stamp and state per way slot, parallel to `blocks`.
+    meta: Vec<Meta>,
+    /// Occupied ways per set.
+    lens: Vec<u32>,
     set_mask: u64,
     assoc: usize,
     clock: u64,
     stats: CacheStats,
 }
 
+/// Per-way bookkeeping touched only after the tag scan picks a slot.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    stamp: u64,
+    state: BState,
+}
+
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let slots = sets * config.assoc;
         Cache {
-            sets: vec![Vec::with_capacity(config.assoc); sets],
+            blocks: vec![0; slots],
+            meta: vec![
+                Meta {
+                    stamp: 0,
+                    state: BState::Valid
+                };
+                slots
+            ],
+            lens: vec![0; sets],
             set_mask: (sets - 1) as u64,
             assoc: config.assoc,
             clock: 0,
@@ -105,17 +127,26 @@ impl Cache {
         (block & self.set_mask) as usize
     }
 
+    /// Index of `block`'s way slot within its set, if resident.
+    #[inline]
+    fn find(&self, block: u64) -> Option<usize> {
+        let set = self.set_of(block);
+        let base = set * self.assoc;
+        let used = self.lens[set] as usize;
+        self.blocks[base..base + used]
+            .iter()
+            .position(|&b| b == block)
+            .map(|way| base + way)
+    }
+
     /// Looks up `block`, refreshing its LRU position. Counts a hit or miss.
     pub fn lookup(&mut self, block: u64) -> Option<BState> {
         self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_of(block);
-        for line in &mut self.sets[set] {
-            if line.block == block {
-                line.stamp = clock;
-                self.stats.hits += 1;
-                return Some(line.state);
-            }
+        if let Some(slot) = self.find(block) {
+            let m = &mut self.meta[slot];
+            m.stamp = self.clock;
+            self.stats.hits += 1;
+            return Some(m.state);
         }
         self.stats.misses += 1;
         None
@@ -123,11 +154,7 @@ impl Cache {
 
     /// Looks up `block` without touching LRU or statistics.
     pub fn peek(&self, block: u64) -> Option<BState> {
-        let set = self.set_of(block);
-        self.sets[set]
-            .iter()
-            .find(|l| l.block == block)
-            .map(|l| l.state)
+        self.find(block).map(|slot| self.meta[slot].state)
     }
 
     /// Changes the state of a resident block.
@@ -136,12 +163,10 @@ impl Cache {
     ///
     /// Panics if the block is not resident — a protocol logic error.
     pub fn set_state(&mut self, block: u64, state: BState) {
-        let set = self.set_of(block);
-        let line = self.sets[set]
-            .iter_mut()
-            .find(|l| l.block == block)
+        let slot = self
+            .find(block)
             .unwrap_or_else(|| panic!("set_state on non-resident block {block}"));
-        line.state = state;
+        self.meta[slot].state = state;
     }
 
     /// Inserts `block` with `state`, evicting the LRU line if the set is
@@ -153,49 +178,56 @@ impl Cache {
     pub fn insert(&mut self, block: u64, state: BState) -> Option<Evicted> {
         self.clock += 1;
         let clock = self.clock;
-        let assoc = self.assoc;
-        let set_idx = self.set_of(block);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_of(block);
+        let base = set * self.assoc;
+        let used = self.lens[set] as usize;
         assert!(
-            set.iter().all(|l| l.block != block),
+            !self.blocks[base..base + used].contains(&block),
             "insert of already-resident block {block}"
         );
-        let new_line = Line {
-            block,
-            state,
-            stamp: clock,
+        let slot = if used < self.assoc {
+            self.lens[set] += 1;
+            base + used
+        } else {
+            // Evict the least recently used line (first minimum stamp).
+            let victim = self.meta[base..base + used]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, m)| m.stamp)
+                .map(|(way, _)| base + way)
+                .expect("full set is non-empty");
+            let evicted = Evicted {
+                block: self.blocks[victim],
+                state: self.meta[victim].state,
+            };
+            self.blocks[victim] = block;
+            self.meta[victim] = Meta {
+                stamp: clock,
+                state,
+            };
+            self.stats.evictions += 1;
+            return Some(evicted);
         };
-        if set.len() < assoc {
-            set.push(new_line);
-            return None;
-        }
-        // Evict the least recently used line.
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.stamp)
-            .map(|(i, _)| i)
-            .expect("full set is non-empty");
-        let victim = set[victim_idx];
-        set[victim_idx] = new_line;
-        self.stats.evictions += 1;
-        Some(Evicted {
-            block: victim.block,
-            state: victim.state,
-        })
+        self.blocks[slot] = block;
+        self.meta[slot] = Meta {
+            stamp: clock,
+            state,
+        };
+        None
     }
 
     /// Removes `block` (external invalidation). Returns the state it held.
     pub fn invalidate(&mut self, block: u64) -> Option<BState> {
-        let set_idx = self.set_of(block);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.block == block) {
-            let line = set.swap_remove(pos);
-            self.stats.invalidations += 1;
-            Some(line.state)
-        } else {
-            None
-        }
+        let slot = self.find(block)?;
+        let state = self.meta[slot].state;
+        // Swap-remove within the set: the last occupied way fills the gap.
+        let set = self.set_of(block);
+        let last = set * self.assoc + (self.lens[set] as usize - 1);
+        self.blocks[slot] = self.blocks[last];
+        self.meta[slot] = self.meta[last];
+        self.lens[set] -= 1;
+        self.stats.invalidations += 1;
+        Some(state)
     }
 
     /// Hit/miss/eviction counters.
@@ -205,15 +237,17 @@ impl Cache {
 
     /// Number of resident lines (for tests and occupancy reporting).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&n| n as usize).sum()
     }
 
     /// All resident blocks with their states, in no particular order
     /// (invariant checkers scan this; sort before comparing).
     pub fn resident_blocks(&self) -> impl Iterator<Item = (u64, BState)> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().map(|l| (l.block, l.state)))
+        (0..self.lens.len()).flat_map(move |set| {
+            let base = set * self.assoc;
+            (0..self.lens[set] as usize)
+                .map(move |way| (self.blocks[base + way], self.meta[base + way].state))
+        })
     }
 }
 

@@ -1,7 +1,5 @@
 //! Fully-mapped directory state.
 
-use std::collections::HashMap;
-
 /// One block's directory entry: a full-map presence set plus the Berkeley
 /// owner (the cache responsible for supplying data and writing back).
 ///
@@ -14,10 +12,19 @@ pub struct DirEntry {
 }
 
 impl DirEntry {
-    /// Nodes currently holding the block (including the owner).
+    /// Nodes currently holding the block (including the owner), in
+    /// ascending id order. Iterates by clearing the lowest set bit, so
+    /// the cost is one step per sharer rather than one per possible node.
     pub fn sharers(&self) -> impl Iterator<Item = usize> + '_ {
-        let bits = self.sharers;
-        (0..64).filter(move |i| bits & (1 << i) != 0)
+        let mut bits = self.sharers;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let node = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(node)
+        })
     }
 
     /// Whether `node` holds a copy.
@@ -68,9 +75,34 @@ impl DirEntry {
 /// Physically the directory is distributed across homes; which node is the
 /// home of a block is an addressing question the machine layer answers, so
 /// this type is just the (sparse) state map.
-#[derive(Debug, Clone, Default)]
+///
+/// The map is a purpose-built open-addressing table rather than a general
+/// `HashMap`: directory entries are touched on every miss and upgrade, and
+/// **never removed** (a block whose last copy is evicted keeps an empty
+/// entry — `is_uncached` — exactly as the `HashMap` version did). That
+/// insert-only discipline permits plain linear probing with no tombstones,
+/// and block numbers hash with a single Fibonacci multiply instead of
+/// SipHash.
+#[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    /// Power-of-two slot array; `None` is an empty slot.
+    slots: Vec<Option<(u64, DirEntry)>>,
+    /// Occupied slot count.
+    items: usize,
+    /// `64 - log2(slots.len())`: shift applied to the hashed key.
+    shift: u32,
+}
+
+const DIR_INITIAL_SLOTS: usize = 64;
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory {
+            slots: vec![None; DIR_INITIAL_SLOTS],
+            items: 0,
+            shift: 64 - DIR_INITIAL_SLOTS.trailing_zeros(),
+        }
+    }
 }
 
 impl Directory {
@@ -79,30 +111,73 @@ impl Directory {
         Directory::default()
     }
 
+    /// Fibonacci-hash home slot for `block`.
+    #[inline]
+    fn slot_of(&self, block: u64) -> usize {
+        (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize
+    }
+
+    /// Index of the slot holding `block`, or of the empty slot where it
+    /// would be inserted. With no deletions the probe chain from the home
+    /// slot to the first empty slot is authoritative.
+    #[inline]
+    fn probe(&self, block: u64) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = self.slot_of(block);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k != block => i = (i + 1) & mask,
+                _ => return i,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; new_len]);
+        self.shift = 64 - new_len.trailing_zeros();
+        for slot in old.into_iter().flatten() {
+            let i = self.probe(slot.0);
+            self.slots[i] = Some(slot);
+        }
+    }
+
     /// The entry for `block`, creating an empty one on first touch.
     pub fn entry(&mut self, block: u64) -> &mut DirEntry {
-        self.entries.entry(block).or_default()
+        // Keep the load factor under ~70% so probe chains stay short.
+        if self.items * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let i = self.probe(block);
+        if self.slots[i].is_none() {
+            self.slots[i] = Some((block, DirEntry::default()));
+            self.items += 1;
+        }
+        &mut self.slots[i]
+            .as_mut()
+            .expect("probe returned occupied or inserted slot")
+            .1
     }
 
     /// Read-only view of the entry for `block`, if it was ever touched.
     pub fn get(&self, block: u64) -> Option<&DirEntry> {
-        self.entries.get(&block)
+        self.slots[self.probe(block)].as_ref().map(|(_, e)| e)
     }
 
     /// Number of blocks with directory state.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.items
     }
 
     /// True when no block has directory state.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.items == 0
     }
 
     /// All blocks with directory state, in no particular order
     /// (invariant checkers scan this; sort before comparing).
     pub fn blocks(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.keys().copied()
+        self.slots.iter().flatten().map(|&(k, _)| k)
     }
 }
 

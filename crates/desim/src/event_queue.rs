@@ -1,30 +1,66 @@
-//! Timestamped event queue with stable tie-breaking.
+//! Timestamped event queues with stable tie-breaking.
+//!
+//! Two interchangeable implementations live here:
+//!
+//! * [`CalendarQueue`] — a bucketed ladder/calendar queue with O(1)
+//!   amortized push/pop, the default [`EventQueue`];
+//! * [`HeapQueue`] — the original `BinaryHeap`-backed queue, retained as
+//!   the differential-testing oracle and selectable crate-wide with the
+//!   `heap-queue` feature.
+//!
+//! Both order events by `(time, push sequence)`: events scheduled for the
+//! same instant pop in the order they were pushed (FIFO within a
+//! timestamp). This total order is what makes entire simulations built on
+//! these queues deterministic — no behaviour ever depends on container
+//! internals — and it is also what makes the two implementations
+//! *exactly* interchangeable: `crates/desim/tests/queue_diff.rs` drives
+//! adversarial schedules through both and demands identical pop
+//! sequences and accounting.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
 
-/// A min-ordered queue of `(SimTime, E)` events.
+/// Result of [`CalendarQueue::pop_if_before`] / [`HeapQueue::pop_if_before`]:
+/// a single head-comparison-and-pop, so callers with a time budget never
+/// peek and then pop (two head traversals) in their hot loop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopIfBefore<E> {
+    /// The earliest event's time was at or before the limit; it has been
+    /// removed and is returned.
+    Popped(SimTime, E),
+    /// The earliest event lies strictly after the limit; the queue is
+    /// untouched and the head's timestamp is reported.
+    Deferred(SimTime),
+    /// No events are pending.
+    Empty,
+}
+
+// ---------------------------------------------------------------------------
+// HeapQueue — the original binary-heap implementation (differential oracle)
+// ---------------------------------------------------------------------------
+
+/// A min-ordered queue of `(SimTime, E)` events backed by a binary heap.
 ///
-/// Events scheduled for the same instant are popped in the order they were
-/// pushed (FIFO within a timestamp). This stability is what makes entire
-/// simulations built on this queue deterministic: no behaviour ever depends
-/// on heap-internal ordering.
+/// This is the seed-era implementation, kept verbatim behind the
+/// `heap-queue` feature as a differential-testing oracle for
+/// [`CalendarQueue`]. Events scheduled for the same instant are popped in
+/// the order they were pushed (FIFO within a timestamp).
 ///
 /// # Example
 ///
 /// ```
-/// use spasm_desim::{EventQueue, SimTime};
+/// use spasm_desim::{HeapQueue, SimTime};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapQueue::new();
 /// q.push(SimTime::from_ns(5), 'b');
 /// q.push(SimTime::from_ns(1), 'a');
 /// assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
 /// assert_eq!(q.pop(), Some((SimTime::from_ns(1), 'a')));
 /// ```
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     popped: u64,
@@ -59,10 +95,10 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             popped: 0,
@@ -86,6 +122,19 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// Pops the earliest event only if its timestamp is at or before
+    /// `limit` — a combined head-compare-and-pop. See [`PopIfBefore`].
+    pub fn pop_if_before(&mut self, limit: SimTime) -> PopIfBefore<E> {
+        match self.heap.peek() {
+            None => PopIfBefore::Empty,
+            Some(e) if e.time > limit => PopIfBefore::Deferred(e.time),
+            Some(_) => {
+                let (t, e) = self.pop().expect("peeked head must pop");
+                PopIfBefore::Popped(t, e)
+            }
+        }
+    }
+
     /// Returns the timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -107,7 +156,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Total number of events ever popped. Invariant checkers compare this
-    /// against [`EventQueue::pushed`] at end of run: a drained queue must
+    /// against [`HeapQueue::pushed`] at end of run: a drained queue must
     /// have popped exactly what was pushed.
     pub fn popped(&self) -> u64 {
         self.popped
@@ -125,7 +174,308 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue — bucketed ladder/calendar queue (the default EventQueue)
+// ---------------------------------------------------------------------------
+
+/// Number of ring buckets. Power of two so the ring index is a mask. The
+/// engine's pending-event population is small (a handful per processor),
+/// so a fixed modest ring plus the far-future spill ladder covers every
+/// workload without calendar-queue resize heuristics.
+const RING_BUCKETS: usize = 512;
+/// Initial bucket width as a shift (2^6 = 64 ns ≈ two CPU cycles). The
+/// width re-adapts to the observed event-time span whenever the window is
+/// re-seeded from the spill ladder.
+const INIT_WIDTH_SHIFT: u32 = 6;
+/// Widest allowed bucket (2^40 ns ≈ 18 min of simulated time per bucket):
+/// beyond this, far-apart events simply share buckets and are ordered by
+/// the per-bucket sort, which stays correct at any width.
+const MAX_WIDTH_SHIFT: u32 = 40;
+
+/// A min-ordered queue of `(SimTime, E)` events backed by a ladder /
+/// calendar structure: a sorted "current" run being drained, a ring of
+/// unsorted near-future buckets, and an unsorted far-future spill ladder.
+///
+/// Push and pop are O(1) amortized: a push appends to a bucket (or
+/// binary-inserts into the small current run when the event is due inside
+/// the bucket being drained), and each event is sorted exactly once, in
+/// the small batch of its bucket, when the drain front reaches it. The
+/// observable behaviour — pop order, FIFO stability within a timestamp,
+/// `pushed`/`popped`/`last_popped` accounting — is bit-identical to
+/// [`HeapQueue`], which the differential suite enforces.
+///
+/// # Example
+///
+/// ```
+/// use spasm_desim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(5), 'b');
+/// q.push(SimTime::from_ns(1), 'a');
+/// assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(1), 'a')));
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// The run currently being drained, sorted by `(time, seq)`
+    /// DESCENDING so pop is `Vec::pop` from the tail. Also receives
+    /// pushes due before the current bucket's end (including pushes in
+    /// the past, which the heap semantics allow).
+    cur: Vec<(SimTime, u64, E)>,
+    /// Ring of unsorted near-future buckets. `ring[ring_pos]` is the
+    /// bucket being drained into `cur`; bucket `i` steps ahead holds
+    /// times `[base + i·W, base + (i+1)·W)`.
+    ring: Vec<Vec<(SimTime, u64, E)>>,
+    /// Physical ring index of the current bucket.
+    ring_pos: usize,
+    /// Start of the current bucket's time range, aligned to the width.
+    base: u64,
+    /// log2 of the bucket width W.
+    width_shift: u32,
+    /// Events pending in the ring (not counting `cur`).
+    in_ring: usize,
+    /// Exclusive end of the epoch's ring window, FROZEN between
+    /// re-seeds. The boundary must not track the advancing `base`:
+    /// otherwise an event spilled to `far` (≥ the boundary at push time)
+    /// could silently fall into the past as the window slides forward,
+    /// and the ring would pop later events first. u128 so `u64::MAX`
+    /// timestamps compare without saturation.
+    epoch_end: u128,
+    /// Far-future spill ladder: unsorted events at or beyond
+    /// `epoch_end`, redistributed (and the width re-adapted) when the
+    /// ring and current run drain dry.
+    far: Vec<(SimTime, u64, E)>,
+    seq: u64,
+    popped: u64,
+    last_popped: Option<SimTime>,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            cur: Vec::new(),
+            ring: std::iter::repeat_with(Vec::new)
+                .take(RING_BUCKETS)
+                .collect(),
+            ring_pos: 0,
+            base: 0,
+            width_shift: INIT_WIDTH_SHIFT,
+            in_ring: 0,
+            epoch_end: (1u128 << INIT_WIDTH_SHIFT) * RING_BUCKETS as u128,
+            far: Vec::new(),
+            seq: 0,
+            popped: 0,
+            last_popped: None,
+        }
+    }
+
+    #[inline]
+    fn width(&self) -> u64 {
+        1u64 << self.width_shift
+    }
+
+    /// End of the current bucket (exclusive), in u128 so `u64::MAX`
+    /// timestamps never saturate into an off-by-one.
+    #[inline]
+    fn cur_end(&self) -> u128 {
+        u128::from(self.base) + u128::from(self.width())
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        let t = u128::from(time.as_ns());
+        if t < self.cur_end() {
+            // Due inside (or before) the bucket being drained — including
+            // pushes into the past, which must pop next. `cur` is sorted
+            // descending by (time, seq); this seq is the largest ever
+            // issued, so the insertion point is found by time alone and
+            // lands after any equal-time entries (FIFO).
+            let key = (time, seq);
+            let idx = self.cur.partition_point(|&(et, es, _)| (et, es) > key);
+            self.cur.insert(idx, (time, seq, event));
+        } else if t < self.epoch_end {
+            // Within the frozen epoch window: `base` has advanced k
+            // buckets into the epoch, so the offset is < RING_BUCKETS - k
+            // and the slot never laps the drain position.
+            let offset = ((time.as_ns() - self.base) >> self.width_shift) as usize;
+            debug_assert!((1..RING_BUCKETS).contains(&offset));
+            let slot = (self.ring_pos + offset) & (RING_BUCKETS - 1);
+            self.ring[slot].push((time, seq, event));
+            self.in_ring += 1;
+        } else {
+            self.far.push((time, seq, event));
+        }
+    }
+
+    /// Ensures `cur` holds the next events to pop, advancing the ring
+    /// window and re-seeding from the spill ladder as needed. Returns
+    /// `false` when the queue is empty.
+    fn refill(&mut self) -> bool {
+        if !self.cur.is_empty() {
+            return true;
+        }
+        if self.in_ring > 0 {
+            // Advance to the next non-empty bucket. Bounded by the ring
+            // size, and each step is a length check on a contiguous Vec.
+            loop {
+                self.ring_pos = (self.ring_pos + 1) & (RING_BUCKETS - 1);
+                self.base = self.base.saturating_add(self.width());
+                if !self.ring[self.ring_pos].is_empty() {
+                    break;
+                }
+            }
+            let mut batch = std::mem::take(&mut self.ring[self.ring_pos]);
+            self.in_ring -= batch.len();
+            batch.sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
+            self.cur = batch;
+            return true;
+        }
+        if self.far.is_empty() {
+            return false;
+        }
+        self.reseed_from_far();
+        true
+    }
+
+    /// Re-anchors the window at the earliest far event, re-adapting the
+    /// bucket width to the observed span, and redistributes the ladder.
+    fn reseed_from_far(&mut self) {
+        let (mut min_t, mut max_t) = (u64::MAX, 0u64);
+        for &(t, _, _) in &self.far {
+            let ns = t.as_ns();
+            min_t = min_t.min(ns);
+            max_t = max_t.max(ns);
+        }
+        // Aim to spread the span over about half the ring; any width is
+        // correct (buckets are sorted when drained), wider just batches
+        // more events per sort.
+        let span = max_t - min_t;
+        let target = (span / (RING_BUCKETS as u64 / 2)).max(1);
+        self.width_shift =
+            (64 - (target - 1).leading_zeros()).clamp(INIT_WIDTH_SHIFT, MAX_WIDTH_SHIFT);
+        self.base = min_t & !(self.width() - 1);
+        self.ring_pos = 0;
+        self.epoch_end = u128::from(self.base) + u128::from(self.width()) * RING_BUCKETS as u128;
+        let cur_end = self.cur_end();
+        let epoch_end = self.epoch_end;
+        let mut batch = Vec::new();
+        let mut keep = Vec::new();
+        for (time, seq, event) in self.far.drain(..) {
+            let t = u128::from(time.as_ns());
+            if t < cur_end {
+                batch.push((time, seq, event));
+            } else if t < epoch_end {
+                let offset = ((time.as_ns() - self.base) >> self.width_shift) as usize;
+                let slot = (self.ring_pos + offset) & (RING_BUCKETS - 1);
+                self.ring[slot].push((time, seq, event));
+                self.in_ring += 1;
+            } else {
+                keep.push((time, seq, event));
+            }
+        }
+        self.far = keep;
+        debug_assert!(!batch.is_empty(), "min far event must land in the window");
+        batch.sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
+        self.cur = batch;
+    }
+
+    #[inline]
+    fn take_head(&mut self) -> (SimTime, E) {
+        let (t, _, e) = self.cur.pop().expect("refill guaranteed a head");
+        self.popped += 1;
+        self.last_popped = Some(t);
+        (t, e)
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.refill() {
+            return None;
+        }
+        Some(self.take_head())
+    }
+
+    /// Pops the earliest event only if its timestamp is at or before
+    /// `limit` — a combined head-compare-and-pop, so a deadline-bounded
+    /// caller touches the head once per event instead of peeking and then
+    /// popping. See [`PopIfBefore`].
+    pub fn pop_if_before(&mut self, limit: SimTime) -> PopIfBefore<E> {
+        if !self.refill() {
+            return PopIfBefore::Empty;
+        }
+        let head = self.cur.last().expect("refill guaranteed a head").0;
+        if head > limit {
+            return PopIfBefore::Deferred(head);
+        }
+        let (t, e) = self.take_head();
+        PopIfBefore::Popped(t, e)
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(&(t, _, _)) = self.cur.last() {
+            return Some(t);
+        }
+        if self.in_ring > 0 {
+            for step in 1..=RING_BUCKETS {
+                let slot = (self.ring_pos + step) & (RING_BUCKETS - 1);
+                if let Some(t) = self.ring[slot].iter().map(|&(t, _, _)| t).min() {
+                    return Some(t);
+                }
+            }
+        }
+        self.far.iter().map(|&(t, _, _)| t).min()
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.cur.len() + self.in_ring + self.far.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever pushed (a simulator "event count" metric).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events ever popped. Invariant checkers compare this
+    /// against [`CalendarQueue::pushed`] at end of run: a drained queue
+    /// must have popped exactly what was pushed.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Timestamp of the most recently popped event, if any — the queue-side
+    /// record of the simulation clock, for monotonicity checks.
+    pub fn last_popped(&self) -> Option<SimTime> {
+        self.last_popped
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.cur.clear();
+        for b in &mut self.ring {
+            b.clear();
+        }
+        self.in_ring = 0;
+        self.far.clear();
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -134,6 +484,12 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // The unit suite runs generically over both implementations; the
+    // module-level tests pin the shared behaviour on whichever one is the
+    // crate-wide `EventQueue`, and `both_agree_*` cases below drive the
+    // pair directly (the full adversarial suite is tests/queue_diff.rs).
+    use crate::EventQueue;
 
     #[test]
     fn pops_in_time_order() {
@@ -209,5 +565,89 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_if_before_pops_at_or_before_limit_only() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), 'a');
+        q.push(SimTime::from_ns(20), 'b');
+        assert_eq!(
+            q.pop_if_before(SimTime::from_ns(10)),
+            PopIfBefore::Popped(SimTime::from_ns(10), 'a')
+        );
+        assert_eq!(
+            q.pop_if_before(SimTime::from_ns(19)),
+            PopIfBefore::Deferred(SimTime::from_ns(20))
+        );
+        assert_eq!(q.len(), 1); // deferred pop left the queue untouched
+        assert_eq!(q.popped(), 1);
+        assert_eq!(
+            q.pop_if_before(SimTime::MAX),
+            PopIfBefore::Popped(SimTime::from_ns(20), 'b')
+        );
+        assert_eq!(q.pop_if_before(SimTime::MAX), PopIfBefore::Empty);
+    }
+
+    #[test]
+    fn far_future_spill_and_reseed() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the initial ring window (64ns × 512 buckets).
+        q.push(SimTime::from_ms(500), 'z');
+        q.push(SimTime::from_ns(3), 'a');
+        q.push(SimTime::from_ms(400), 'y');
+        q.push(SimTime::from_ms(400), 'w'); // same far timestamp: FIFO
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(400), 'y')));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(400), 'w')));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(500), 'z')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn extreme_timestamps_terminate() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::MAX, 'm');
+        q.push(SimTime::ZERO, 'z');
+        q.push(SimTime::from_ns(u64::MAX - 1), 'n');
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(q.pop(), Some((SimTime::ZERO, 'z')));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(u64::MAX - 1), 'n')));
+        assert_eq!(q.pop(), Some((SimTime::MAX, 'm')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_into_the_past_pops_next() {
+        // The heap allows scheduling before the last popped time; the
+        // calendar must match (non-monotonic inserts land in `cur`).
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_ns(100), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_ns(100), 'b')));
+        q.push(SimTime::from_ns(5), 'a');
+        q.push(SimTime::from_us(90), 'c'); // ring range
+        assert_eq!(q.pop(), Some((SimTime::from_ns(5), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_us(90), 'c')));
+    }
+
+    #[test]
+    fn both_agree_on_a_monotonic_engine_stream() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = HeapQueue::new();
+        for i in 0..64u64 {
+            cal.push(SimTime::from_ns(i % 7), i);
+            heap.push(SimTime::from_ns(i % 7), i);
+        }
+        for i in 0..10_000u64 {
+            let a = cal.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!(a, b);
+            let t = a.0 + SimTime::from_ns((a.1 * 2654435761) % 4096 + 1);
+            cal.push(t, i);
+            heap.push(t, i);
+        }
+        assert_eq!(cal.len(), heap.len());
+        assert_eq!(cal.peek_time(), heap.peek_time());
     }
 }

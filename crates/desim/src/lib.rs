@@ -7,9 +7,14 @@
 //! package; this crate plays the same role:
 //!
 //! * [`SimTime`] — simulated time in nanoseconds, with saturating arithmetic;
-//! * [`EventQueue`] — a min-heap of timestamped events with **stable
-//!   tie-breaking** (events at equal times pop in push order), which makes
-//!   whole simulations deterministic and reproducible;
+//! * [`EventQueue`] — a min-ordered queue of timestamped events with
+//!   **stable tie-breaking** (events at equal times pop in push order),
+//!   which makes whole simulations deterministic and reproducible. Two
+//!   implementations exist: the default [`CalendarQueue`] (a bucketed
+//!   ladder/calendar queue, O(1) amortized) and the seed-era
+//!   [`HeapQueue`] (binary heap), selected crate-wide by the
+//!   `heap-queue` cargo feature and verified against each other by a
+//!   differential test suite;
 //! * [`CoroPool`] — process-oriented simulation processes implemented as OS
 //!   threads in rendezvous with the (single-threaded) simulator, so that
 //!   application code can be written as ordinary blocking Rust code while the
@@ -41,6 +46,18 @@ mod facility;
 mod time;
 
 pub use coro::{CoroCtx, CoroPool, ProcId, Step};
-pub use event_queue::EventQueue;
+pub use event_queue::{CalendarQueue, HeapQueue, PopIfBefore};
 pub use facility::{Facility, FacilityStats};
 pub use time::SimTime;
+
+/// The crate-wide event queue: [`CalendarQueue`] by default, or the
+/// seed-era [`HeapQueue`] when the `heap-queue` feature is enabled (the
+/// differential tier in `scripts/ci.sh` runs the whole test suite under
+/// both).
+#[cfg(not(feature = "heap-queue"))]
+pub type EventQueue<E> = CalendarQueue<E>;
+
+/// The crate-wide event queue (the `heap-queue` feature is enabled:
+/// binary-heap implementation).
+#[cfg(feature = "heap-queue")]
+pub type EventQueue<E> = HeapQueue<E>;

@@ -1,16 +1,16 @@
 //! The execution-driven simulation engine.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use spasm_cache::AccessKind;
 use spasm_check::{CheckViolation, EngineChecker};
-use spasm_desim::{CoroCtx, CoroPool, EventQueue, SimTime, Step};
+use spasm_desim::{CoroCtx, CoroPool, EventQueue, PopIfBefore, SimTime, Step};
 use spasm_topology::{Topology, TopologyError};
 
 use crate::addr::UnallocatedAddress;
 use crate::faults::{FaultCounters, FaultInjector, RunBudget};
+use crate::fxhash::FxHashMap;
 use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
 use crate::ops::{MemReq, MemResp, Pred, RmwOp};
 use crate::stats::{Buckets, ProcStats};
@@ -193,6 +193,44 @@ enum Action {
     Received(u64),
 }
 
+/// Arena for in-flight events. The queue orders bare `u32` slot ids (so
+/// its internal moves, sorts, and bucket redistributions shuffle 4-byte
+/// handles, not full [`Ev`] payloads); the payloads themselves sit in the
+/// slab until popped. Freed slots are recycled LIFO, keeping the live
+/// working set dense.
+#[derive(Debug, Default)]
+struct EvSlab {
+    slots: Vec<Option<Ev>>,
+    free: Vec<u32>,
+}
+
+impl EvSlab {
+    #[inline]
+    fn alloc(&mut self, ev: Ev) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(ev);
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
+                self.slots.push(Some(ev));
+                id
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, id: u32) -> Ev {
+        let ev = self.slots[id as usize]
+            .take()
+            .expect("popped id names a live event");
+        self.free.push(id);
+        ev
+    }
+}
+
 /// Drives application processes over a machine model.
 ///
 /// See the crate-level example. The engine owns the coroutine pool, the
@@ -203,12 +241,13 @@ pub struct Engine {
     model: Model,
     amap: AddressMap,
     store: ValueStore,
-    events: EventQueue<Ev>,
+    events: EventQueue<u32>,
+    slab: EvSlab,
     /// word index → processors spin-waiting on that word.
-    watchers: HashMap<u64, Vec<(usize, Pred)>>,
-    region_traffic: HashMap<&'static str, Buckets>,
+    watchers: FxHashMap<u64, Vec<(usize, Pred)>>,
+    region_traffic: FxHashMap<&'static str, Buckets>,
     /// (receiver, tag) → arrived-but-unconsumed message payloads, FIFO.
-    mailboxes: HashMap<(usize, u64), std::collections::VecDeque<u64>>,
+    mailboxes: FxHashMap<(usize, u64), std::collections::VecDeque<u64>>,
     /// Per-processor pending blocking receive (tag), if any.
     recv_wait: Vec<Option<u64>>,
     wait_start: Vec<Option<SimTime>>,
@@ -270,9 +309,10 @@ impl Engine {
             amap,
             store,
             events: EventQueue::new(),
-            watchers: HashMap::new(),
-            region_traffic: HashMap::new(),
-            mailboxes: HashMap::new(),
+            slab: EvSlab::default(),
+            watchers: FxHashMap::default(),
+            region_traffic: FxHashMap::default(),
+            mailboxes: FxHashMap::default(),
             recv_wait: vec![None; p],
             wait_start: vec![None; p],
             stats: vec![ProcStats::default(); p],
@@ -307,7 +347,26 @@ impl Engine {
         for proc in 0..p {
             self.resume(proc, MemResp::Start)?;
         }
-        while let Some((t, ev)) = self.events.pop() {
+        // A configured simulated-time budget becomes the queue's pop
+        // deadline: the queue refuses to yield an event beyond it in one
+        // combined operation, instead of popping and then rechecking.
+        let deadline = self.budget.max_sim_time.unwrap_or(SimTime::MAX);
+        loop {
+            let (t, ev) = match self.events.pop_if_before(deadline) {
+                PopIfBefore::Popped(t, id) => (t, self.slab.take(id)),
+                PopIfBefore::Deferred(t) => {
+                    // The head event lies past the budget: tripping on it
+                    // counts it as processed, exactly as the pop-then-check
+                    // formulation did.
+                    self.now = t;
+                    self.processed += 1;
+                    return Err(RunError::BudgetExceeded {
+                        at: self.now,
+                        events: self.processed,
+                    });
+                }
+                PopIfBefore::Empty => break,
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.processed += 1;
@@ -315,7 +374,6 @@ impl Engine {
                 .budget
                 .max_events
                 .is_some_and(|max| self.processed > max)
-                || self.budget.max_sim_time.is_some_and(|max| t > max)
             {
                 return Err(RunError::BudgetExceeded {
                     at: self.now,
@@ -398,6 +456,13 @@ impl Engine {
         })
     }
 
+    /// Allocates a slab slot for `ev` and schedules it at `at`.
+    #[inline]
+    fn push_ev(&mut self, at: SimTime, ev: Ev) {
+        let id = self.slab.alloc(ev);
+        self.events.push(at, id);
+    }
+
     fn dispatch(&mut self, proc: usize, req: MemReq) -> Result<(), RunError> {
         self.stats[proc].ops += 1;
         let now = self.now;
@@ -405,28 +470,23 @@ impl Engine {
             MemReq::Compute { cycles } => {
                 let dur = SimTime::from_ns(cycles * CYCLE_NS);
                 self.stats[proc].buckets.busy += dur;
-                self.events
-                    .push(now + dur, Ev::Commit(proc, Action::Compute));
+                self.push_ev(now + dur, Ev::Commit(proc, Action::Compute));
             }
             MemReq::Read { addr } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Read)?;
-                self.events
-                    .push(finish, Ev::Commit(proc, Action::Read(addr)));
+                self.push_ev(finish, Ev::Commit(proc, Action::Read(addr)));
             }
             MemReq::Write { addr, value } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Write)?;
-                self.events
-                    .push(finish, Ev::Commit(proc, Action::Write(addr, value)));
+                self.push_ev(finish, Ev::Commit(proc, Action::Write(addr, value)));
             }
             MemReq::Rmw { addr, op } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Write)?;
-                self.events
-                    .push(finish, Ev::Commit(proc, Action::Rmw(addr, op)));
+                self.push_ev(finish, Ev::Commit(proc, Action::Rmw(addr, op)));
             }
             MemReq::WaitUntil { addr, pred } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Read)?;
-                self.events
-                    .push(finish, Ev::Commit(proc, Action::Check(addr, pred)));
+                self.push_ev(finish, Ev::Commit(proc, Action::Check(addr, pred)));
             }
             MemReq::Send {
                 dst,
@@ -463,10 +523,9 @@ impl Engine {
                 if let Some(chk) = &mut self.checker {
                     chk.on_send(dst, tag, cost.delivered, delivered, copies)?;
                 }
-                self.events
-                    .push(cost.sender_free, Ev::Commit(proc, Action::Sent));
+                self.push_ev(cost.sender_free, Ev::Commit(proc, Action::Sent));
                 for _ in 0..copies {
-                    self.events.push(delivered, Ev::Deliver { dst, tag, value });
+                    self.push_ev(delivered, Ev::Deliver { dst, tag, value });
                 }
             }
             MemReq::Recv { tag } => {
@@ -477,8 +536,7 @@ impl Engine {
                 {
                     // Message already arrived: charge the receive handoff.
                     let finish = self.now + SimTime::from_ns(CYCLE_NS);
-                    self.events
-                        .push(finish, Ev::Commit(proc, Action::Received(value)));
+                    self.push_ev(finish, Ev::Commit(proc, Action::Received(value)));
                 } else {
                     if self.recv_wait[proc].is_some() {
                         return Err(RunError::BadRequest {
@@ -580,7 +638,7 @@ impl Engine {
                         // Cache-less machine: each poll really re-reads
                         // over the network. Re-dispatch immediately; the
                         // read itself advances time, so this terminates.
-                        self.events.push(
+                        self.push_ev(
                             self.now,
                             Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }),
                         );
@@ -603,7 +661,7 @@ impl Engine {
                 // Each waiter re-reads the (just-invalidated) word and
                 // re-checks — the paper's "first and last accesses use the
                 // network" spin behaviour.
-                self.events.push(
+                self.push_ev(
                     self.now,
                     Ev::Dispatch(proc, MemReq::WaitUntil { addr, pred }),
                 );
@@ -619,8 +677,7 @@ impl Engine {
         if self.recv_wait[dst] == Some(tag) {
             self.recv_wait[dst] = None;
             // Re-dispatch the receive; it will find the mailbox non-empty.
-            self.events
-                .push(self.now, Ev::Dispatch(dst, MemReq::Recv { tag }));
+            self.push_ev(self.now, Ev::Dispatch(dst, MemReq::Recv { tag }));
         }
     }
 
@@ -640,7 +697,7 @@ impl Engine {
                 if let Some(chk) = &mut self.checker {
                     chk.on_dispatch(proc, self.now, at)?;
                 }
-                self.events.push(at, Ev::Dispatch(proc, req));
+                self.push_ev(at, Ev::Dispatch(proc, req));
                 Ok(())
             }
             Step::Done => {

@@ -64,6 +64,7 @@
 mod addr;
 mod engine;
 mod faults;
+mod fxhash;
 mod models;
 mod ops;
 mod report;

@@ -1,7 +1,5 @@
 //! The CC-NUMA target machine: full protocol, link-level network.
 
-use std::collections::HashMap;
-
 use spasm_cache::{AccessKind, CacheConfig, CoherenceController, Outcome, ProtocolKind, Supplier};
 use spasm_check::{CheckViolation, CoherenceChecker};
 use spasm_desim::{Facility, SimTime};
@@ -9,6 +7,7 @@ use spasm_net::{Delivery, Network};
 use spasm_topology::{NodeId, Topology, TopologyError};
 
 use crate::engine::RunError;
+use crate::fxhash::FxHashMap;
 use crate::{Addr, AddressMap, Buckets, BLOCK_BYTES, CTRL_BYTES, CYCLE_NS, DATA_BYTES, MEM_NS};
 
 use super::{Cost, MachineConfig, ModelSummary};
@@ -41,7 +40,7 @@ pub struct TargetModel {
     net: Network,
     coherence: CoherenceController,
     memory: Vec<Facility>,
-    block_free: HashMap<u64, SimTime>,
+    block_free: FxHashMap<u64, SimTime>,
     /// Coherence-invariant observer (only under an enabled `CheckMode`).
     checker: Option<CoherenceChecker>,
     /// Network-conformance violation latched inside the infallible
@@ -63,7 +62,7 @@ impl TargetModel {
             net: Network::new(topo),
             coherence: CoherenceController::with_protocol(p, cache, protocol),
             memory: vec![Facility::new(); p],
-            block_free: HashMap::new(),
+            block_free: FxHashMap::default(),
             checker: None,
             net_violation: None,
         }

@@ -1,7 +1,6 @@
 //! The simulated shared-memory value store.
 
-use std::collections::HashMap;
-
+use crate::fxhash::FxHashMap;
 use crate::Addr;
 
 /// Word-granular storage for simulated shared memory values.
@@ -15,7 +14,7 @@ use crate::Addr;
 /// [`ValueStore::read_f64`] / [`ValueStore::write_f64`].
 #[derive(Debug, Clone, Default)]
 pub struct ValueStore {
-    words: HashMap<u64, u64>,
+    words: FxHashMap<u64, u64>,
 }
 
 impl ValueStore {

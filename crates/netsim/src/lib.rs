@@ -46,7 +46,7 @@
 #![warn(missing_docs)]
 
 use spasm_desim::SimTime;
-use spasm_topology::{NodeId, Topology, TopologyError};
+use spasm_topology::{LinkId, NodeId, Topology, TopologyError};
 
 /// Serial link transmission cost: 20 MBytes/sec → 50 ns per byte.
 pub const LINK_NS_PER_BYTE: u64 = 50;
@@ -109,6 +109,9 @@ pub struct Network {
     free_at: Vec<SimTime>,
     stats: NetworkStats,
     per_link_busy: Vec<SimTime>,
+    /// Scratch route buffer reused across sends (avoids a per-message
+    /// allocation on the simulator hot path).
+    route_buf: Vec<LinkId>,
 }
 
 impl Network {
@@ -120,6 +123,7 @@ impl Network {
             free_at: vec![SimTime::ZERO; n],
             stats: NetworkStats::default(),
             per_link_busy: vec![SimTime::ZERO; n],
+            route_buf: Vec::new(),
         }
     }
 
@@ -171,16 +175,16 @@ impl Network {
             });
         }
         let bytes = bytes.max(1); // messages carry at least a header
-        let path = self.topo.try_route(src, dst)?;
+        self.topo.try_route_into(src, dst, &mut self.route_buf)?;
         let transmission = SimTime::from_ns(bytes * LINK_NS_PER_BYTE);
 
         // Circuit establishment: all links simultaneously free.
         let mut depart = at;
-        for link in &path {
+        for link in &self.route_buf {
             depart = depart.max(self.free_at[link.0]);
         }
         let arrive = depart + transmission;
-        for link in &path {
+        for link in &self.route_buf {
             self.free_at[link.0] = arrive;
             self.per_link_busy[link.0] += transmission;
         }
@@ -190,7 +194,7 @@ impl Network {
         self.stats.bytes += bytes;
         self.stats.latency += transmission;
         self.stats.contention += contention;
-        self.stats.hops += path.len() as u64;
+        self.stats.hops += self.route_buf.len() as u64;
         if self.topo.crosses_bisection(src, dst) {
             self.stats.bisection_crossings += 1;
         }
@@ -200,7 +204,7 @@ impl Network {
             arrive,
             latency: transmission,
             contention,
-            hops: path.len(),
+            hops: self.route_buf.len(),
         })
     }
 

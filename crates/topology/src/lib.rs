@@ -316,6 +316,28 @@ impl Topology {
     /// [`TopologyError::MissingLink`] if the link table is inconsistent
     /// (unreachable for the built-in constructors).
     pub fn try_route(&self, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+        let mut path = Vec::new();
+        self.try_route_into(src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    /// Allocation-free form of [`Topology::try_route`]: clears `out` and
+    /// fills it with the route. Callers on a hot path keep one scratch
+    /// buffer alive across messages instead of allocating a path per send.
+    ///
+    /// On error `out` is left cleared (possibly after partial progress for
+    /// a broken link table, which the built-in constructors never produce).
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::try_route`].
+    pub fn try_route_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), TopologyError> {
+        out.clear();
         for node in [src, dst] {
             if node.0 >= self.p {
                 return Err(TopologyError::NodeOutOfRange {
@@ -325,13 +347,17 @@ impl Topology {
             }
         }
         if src == dst {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        match self.kind {
-            TopologyKind::Full => Ok(vec![self.links.pair_link(src, dst)?]),
-            TopologyKind::Hypercube => route::ecube(&self.links, src, dst),
-            TopologyKind::Mesh2D => route::xy(&self.links, self.cols, src, dst),
+        let r = match self.kind {
+            TopologyKind::Full => self.links.pair_link(src, dst).map(|l| out.push(l)),
+            TopologyKind::Hypercube => route::ecube(&self.links, src, dst, out),
+            TopologyKind::Mesh2D => route::xy(&self.links, self.cols, src, dst, out),
+        };
+        if r.is_err() {
+            out.clear();
         }
+        r
     }
 
     /// Number of hops between two nodes under this topology's routing.

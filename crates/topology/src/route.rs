@@ -8,8 +8,8 @@ pub(crate) fn ecube(
     links: &LinkTable,
     src: NodeId,
     dst: NodeId,
-) -> Result<Vec<LinkId>, TopologyError> {
-    let mut path = Vec::with_capacity((src.0 ^ dst.0).count_ones() as usize);
+    path: &mut Vec<LinkId>,
+) -> Result<(), TopologyError> {
     let mut at = src.0;
     let mut diff = at ^ dst.0;
     while diff != 0 {
@@ -19,7 +19,7 @@ pub(crate) fn ecube(
         at = next;
         diff = at ^ dst.0;
     }
-    Ok(path)
+    Ok(())
 }
 
 /// XY routing: travel along the row (X/columns) first, then along the
@@ -29,10 +29,10 @@ pub(crate) fn xy(
     cols: usize,
     src: NodeId,
     dst: NodeId,
-) -> Result<Vec<LinkId>, TopologyError> {
+    path: &mut Vec<LinkId>,
+) -> Result<(), TopologyError> {
     let (mut r, mut c) = (src.0 / cols, src.0 % cols);
     let (tr, tc) = (dst.0 / cols, dst.0 % cols);
-    let mut path = Vec::with_capacity(r.abs_diff(tr) + c.abs_diff(tc));
     while c != tc {
         let nc = if c < tc { c + 1 } else { c - 1 };
         path.push(links.pair_link(NodeId(r * cols + c), NodeId(r * cols + nc))?);
@@ -43,7 +43,7 @@ pub(crate) fn xy(
         path.push(links.pair_link(NodeId(r * cols + c), NodeId(nr * cols + c))?);
         r = nr;
     }
-    Ok(path)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -53,7 +53,8 @@ mod tests {
     #[test]
     fn ecube_corrects_low_dimensions_first() {
         let links = LinkTable::hypercube(8);
-        let path = ecube(&links, NodeId(0), NodeId(0b101)).unwrap();
+        let mut path = Vec::new();
+        ecube(&links, NodeId(0), NodeId(0b101), &mut path).unwrap();
         assert_eq!(path.len(), 2);
         let (a0, b0) = links.endpoints(path[0]);
         assert_eq!((a0.0, b0.0), (0, 1)); // bit 0 first
@@ -65,7 +66,8 @@ mod tests {
     fn xy_goes_along_row_then_column() {
         let links = LinkTable::mesh(4, 4);
         // node 0 = (0,0) to node 15 = (3,3)
-        let path = xy(&links, 4, NodeId(0), NodeId(15)).unwrap();
+        let mut path = Vec::new();
+        xy(&links, 4, NodeId(0), NodeId(15), &mut path).unwrap();
         assert_eq!(path.len(), 6);
         // first three hops move east along row 0: 0->1->2->3
         let (_, to0) = links.endpoints(path[0]);
@@ -81,7 +83,8 @@ mod tests {
     fn xy_handles_westward_and_northward() {
         let links = LinkTable::mesh(2, 4);
         // node 7 = (1,3) to node 0 = (0,0): 3 west, 1 north
-        let path = xy(&links, 4, NodeId(7), NodeId(0)).unwrap();
+        let mut path = Vec::new();
+        xy(&links, 4, NodeId(7), NodeId(0), &mut path).unwrap();
         assert_eq!(path.len(), 4);
         let mut at = NodeId(7);
         for l in &path {
@@ -94,9 +97,12 @@ mod tests {
 
     #[test]
     fn zero_length_routes() {
+        let mut path = Vec::new();
         let links = LinkTable::hypercube(4);
-        assert!(ecube(&links, NodeId(2), NodeId(2)).unwrap().is_empty());
+        ecube(&links, NodeId(2), NodeId(2), &mut path).unwrap();
+        assert!(path.is_empty());
         let links = LinkTable::mesh(2, 2);
-        assert!(xy(&links, 2, NodeId(1), NodeId(1)).unwrap().is_empty());
+        xy(&links, 2, NodeId(1), NodeId(1), &mut path).unwrap();
+        assert!(path.is_empty());
     }
 }

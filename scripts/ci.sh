@@ -19,6 +19,23 @@ tests_started=$SECONDS
 cargo test -q --offline --workspace
 echo "==> tests took $((SECONDS - tests_started))s"
 
+# Differential tier: the identical suite on the seed-era BinaryHeap
+# event queue (the calendar queue is the default; see desim's
+# `heap-queue` feature). Both implementations must pass everything —
+# determinism, goldens, conformance — not just the queue unit tests.
+echo "==> cargo test -q --offline --workspace --features spasm-desim/heap-queue"
+tests_started=$SECONDS
+cargo test -q --offline --workspace --features spasm-desim/heap-queue
+echo "==> heap-queue tests took $((SECONDS - tests_started))s"
+
+# Bench regression smoke: re-runs the wall-clock benches at 3
+# iterations and diffs min-wall against the committed BENCH_*.json
+# baselines. The lax smoke tolerance catches order-of-magnitude
+# breakage (an accidentally quadratic queue); percent-level gating is
+# scripts/bench_compare.sh without --smoke on a quiet machine.
+echo "==> scripts/bench_compare.sh --smoke"
+scripts/bench_compare.sh --smoke
+
 # Executor smoke: one real figure sweep on 2 workers. Belt and braces
 # against a hung pool: the shell kills the process after 60s, and
 # --budget-events caps each run inside the simulator (RunBudget fails a
