@@ -21,9 +21,26 @@
 //! only the rest, producing byte-identical stdout. `--deadline-secs N`
 //! bounds each point's wall time via the executor watchdog.
 //!
+//! ```text
+//! figures --shard K/N --journal DIR [--resume] (--all | --figure ID) [...]
+//! figures --merge DIR (--all | --figure ID) [...]
+//! ```
+//!
+//! `--shard K/N` runs only shard K's points (of N, round-robin over the
+//! series-major point grid) and journals them under
+//! `DIR/<figure>.shard-K-of-N.journal` — a worker's only output is its
+//! journal, so N workers can fan out across processes or hosts.
+//! `--merge DIR` reassembles any set of per-shard journals into stdout
+//! byte-identical to a single-process serial run: torn shard tails are
+//! tolerated, corrupt or mismatched shards are quarantined, overlapping
+//! shards are deduplicated (identical results) or refused (conflicting
+//! results), and points no surviving shard covers degrade to FAILED
+//! rows naming the absent shard.
+//!
 //! Exit codes: 0 clean · 2 usage · 3 point failures (partial figures
 //! salvaged) · 4 journal/configuration mismatch · 5 journal or CSV I/O
-//! failure.
+//! failure or corruption · 6 shard overlap conflict (two shards claim
+//! the same point with different results — a determinism failure).
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -33,7 +50,8 @@ use spasm_apps::SizeClass;
 use spasm_bench::{parse_jobs, parse_procs, parse_size};
 use spasm_core::figures::{self, FigureSpec};
 use spasm_core::journal::SweepJournal;
-use spasm_core::sweep::{run_figure_journaled, run_figure_observed, SweepConfig};
+use spasm_core::shard::{merge_shards, ShardError, ShardSpec};
+use spasm_core::sweep::{run_figure_journaled, run_figure_observed, run_figure_shard, SweepConfig};
 use spasm_exec::ExecEvent;
 use spasm_machine::{CheckMode, FaultPlan, RunBudget};
 
@@ -61,6 +79,12 @@ struct Args {
     resume: bool,
     /// Per-point wall-clock deadline for the executor watchdog.
     deadline: Option<Duration>,
+    /// Worker mode: run only this shard's points into a journal
+    /// directory (`--shard K/N`, requires `--journal DIR`).
+    shard: Option<ShardSpec>,
+    /// Merge mode: reassemble per-shard journals from this directory
+    /// into serial-identical stdout (`--merge DIR`).
+    merge: Option<String>,
 }
 
 /// Exit code when points failed but partial figures were salvaged.
@@ -69,6 +93,9 @@ const EXIT_SALVAGED: u8 = 3;
 const EXIT_MISMATCH: u8 = 4;
 /// Exit code for journal or CSV I/O failures.
 const EXIT_IO: u8 = 5;
+/// Exit code when two shards claim the same point with different
+/// results — a determinism failure nothing should paper over.
+const EXIT_OVERLAP: u8 = 6;
 
 fn usage() -> ! {
     eprintln!(
@@ -77,7 +104,8 @@ fn usage() -> ! {
          [--procs 2,4,...] [--seed N] [--csv PATH] [--chart] \
          [--jobs N|auto] [--serial] [--budget-events N] \
          [--check] [--strict-check] [--faults SEED] \
-         [--journal PATH [--resume]] [--deadline-secs N]"
+         [--journal PATH [--resume]] [--deadline-secs N] \
+         [--shard K/N --journal DIR] [--merge DIR]"
     );
     std::process::exit(2)
 }
@@ -98,6 +126,8 @@ fn parse_args() -> Args {
         journal: None,
         resume: false,
         deadline: None,
+        shard: None,
+        merge: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -166,6 +196,17 @@ fn parse_args() -> Args {
             "--ablation" => args.ablation = Some(it.next().unwrap_or_else(|| usage())),
             "--journal" => args.journal = Some(it.next().unwrap_or_else(|| usage())),
             "--resume" => args.resume = true,
+            "--shard" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                match ShardSpec::parse(&spec) {
+                    Ok(s) => args.shard = Some(s),
+                    Err(e) => {
+                        eprintln!("--shard {spec}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--merge" => args.merge = Some(it.next().unwrap_or_else(|| usage())),
             "--deadline-secs" => {
                 args.deadline = Some(Duration::from_secs(
                     it.next()
@@ -181,6 +222,22 @@ fn parse_args() -> Args {
     }
     if args.resume && args.journal.is_none() {
         eprintln!("--resume requires --journal PATH");
+        usage();
+    }
+    if args.shard.is_some() && args.journal.is_none() {
+        eprintln!("--shard K/N requires --journal DIR (a shard's only output is its journal)");
+        usage();
+    }
+    if args.shard.is_some() && (args.csv.is_some() || args.chart) {
+        eprintln!("--shard produces no stdout; --csv/--chart belong on the --merge invocation");
+        usage();
+    }
+    if args.merge.is_some() && (args.shard.is_some() || args.journal.is_some()) {
+        eprintln!("--merge reads finished shard journals; it conflicts with --shard/--journal");
+        usage();
+    }
+    if (args.shard.is_some() || args.merge.is_some()) && args.ablation.is_some() {
+        eprintln!("--shard/--merge apply to figure sweeps, not ablations");
         usage();
     }
     args
@@ -334,6 +391,156 @@ fn open_journal(
     })
 }
 
+/// Worker mode: run only `shard`'s points of each requested figure into
+/// `DIR/<figure>.shard-K-of-N.journal`. Prints nothing to stdout — the
+/// journal is the shard's entire output, so a merge over the directory
+/// is the only way results become visible, and killing this process at
+/// any instant costs at most one in-flight point.
+fn run_shard(args: &Args, sweep: &SweepConfig, shard: ShardSpec) -> ExitCode {
+    let dir = args.journal.as_deref().expect("checked in parse_args");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create journal directory {dir}: {e}");
+        return ExitCode::from(EXIT_IO);
+    }
+    let started = Instant::now();
+    let mut worst = 0u8;
+    for spec in &args.figures {
+        let jpath = std::path::Path::new(dir)
+            .join(shard.file_name(spec.id))
+            .display()
+            .to_string();
+        let journal = match open_journal(&jpath, spec, args, sweep) {
+            Ok(j) => j,
+            Err(code) => return code,
+        };
+        if journal.repaired_bytes() > 0 {
+            eprintln!(
+                "{}: journal {jpath}: dropped a {}-byte torn tail",
+                spec.id,
+                journal.repaired_bytes()
+            );
+        }
+        let report = run_figure_shard(
+            spec,
+            args.size,
+            &args.procs,
+            args.seed,
+            *sweep,
+            shard,
+            &journal,
+            |_| {},
+        );
+        eprintln!(
+            "{} shard {shard}: {} owned, {} replayed, {} fresh, {} failed",
+            spec.id, report.owned, report.replayed, report.fresh, report.failed
+        );
+        if let Some(e) = journal.io_error() {
+            // Unlike the single-process journaled path, a shard has no
+            // stdout to fall back on: a journal that stopped persisting
+            // means the work is simply not done.
+            eprintln!("{}: journal {jpath} stopped persisting: {e}", spec.id);
+            worst = worst.max(EXIT_IO);
+        }
+        if report.failed > 0 {
+            worst = worst.max(EXIT_SALVAGED);
+        }
+    }
+    eprintln!(
+        "shard {shard}: {} figure(s) in {:.1?} ({})",
+        args.figures.len(),
+        started.elapsed(),
+        jobs_label(args.jobs)
+    );
+    ExitCode::from(worst)
+}
+
+/// Merge mode: reassemble per-shard journals under `dir` into stdout
+/// byte-identical to a serial run, quarantining what cannot be trusted
+/// and salvaging partial figures from what can.
+fn run_merge(args: &Args, sweep: &SweepConfig, dir: &str) -> ExitCode {
+    let mut csv = String::from("figure,app,net,metric,procs,machine,value,reason\n");
+    let mut worst = 0u8;
+    let mut failed_points = 0usize;
+    for spec in &args.figures {
+        let report = match merge_shards(
+            std::path::Path::new(dir),
+            spec,
+            args.size,
+            &args.procs,
+            args.seed,
+            sweep,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: merge {dir}: {e}", spec.id);
+                let code = match e {
+                    ShardError::Overlap { .. } => EXIT_OVERLAP,
+                    _ => EXIT_IO,
+                };
+                return ExitCode::from(code);
+            }
+        };
+        eprintln!(
+            "{}: merged {} shard journal(s): {} point(s), {} duplicate(s) deduped",
+            spec.id, report.shards_merged, report.points_merged, report.duplicates
+        );
+        for (path, bytes) in &report.torn {
+            eprintln!(
+                "{}: {}: tolerated a {bytes}-byte torn tail",
+                spec.id,
+                path.display()
+            );
+        }
+        for q in &report.quarantined {
+            eprintln!("{}: quarantined shard: {q}", spec.id);
+            worst = worst.max(match q {
+                ShardError::FingerprintMismatch { .. } => EXIT_MISMATCH,
+                _ => EXIT_IO,
+            });
+        }
+        if report.missing_points > 0 {
+            eprintln!(
+                "{}: {} point(s) not covered by any surviving shard",
+                spec.id, report.missing_points
+            );
+        }
+        let data = report.data;
+        println!("{}", data.render_table());
+        if args.chart {
+            println!("{}", data.render_chart(12));
+        }
+        for s in &data.series {
+            for (i, outcome) in s.outcomes.iter().enumerate() {
+                if let spasm_core::sweep::Outcome::Failed { error, attempts } = outcome {
+                    failed_points += 1;
+                    eprintln!(
+                        "{}: p={} {}: FAILED after {attempts} attempt(s): {error}",
+                        spec.id, data.procs[i], s.machine
+                    );
+                }
+            }
+        }
+        for line in data.to_csv().lines().skip(1) {
+            csv.push_str(line);
+            csv.push('\n');
+        }
+    }
+    if let Some(path) = &args.csv {
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                worst = worst.max(EXIT_IO);
+            }
+        }
+    }
+    if failed_points > 0 {
+        eprintln!("{failed_points} point(s) failed (partial figures salvaged)");
+        worst = worst.max(EXIT_SALVAGED);
+    }
+    ExitCode::from(worst)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(which) = &args.ablation {
@@ -350,6 +557,12 @@ fn main() -> ExitCode {
         deadline: args.deadline,
         ..SweepConfig::default()
     };
+    if let Some(dir) = &args.merge {
+        return run_merge(&args, &sweep, dir);
+    }
+    if let Some(shard) = args.shard {
+        return run_shard(&args, &sweep, shard);
+    }
     let total_started = Instant::now();
     let mut total_busy = Duration::ZERO;
     let mut total_points = 0usize;

@@ -87,6 +87,14 @@ pub struct Cache {
     meta: Vec<Meta>,
     /// Occupied ways per set.
     lens: Vec<u32>,
+    /// Most-recently-stamped way *slot* per set (`NO_MRU` when unknown).
+    /// A pure hint: a repeat hit on this slot skips the clock bump and
+    /// the stamp store, which preserves the *relative* order of every
+    /// stamp — the only thing victim selection reads — so eviction
+    /// behaviour is bit-identical to stamping every hit. Invariant: a
+    /// non-sentinel hint always points at an occupied way (sets only
+    /// shrink via `invalidate`, which drops the hint).
+    mru: Vec<u32>,
     set_mask: u64,
     assoc: usize,
     clock: u64,
@@ -99,6 +107,9 @@ struct Meta {
     stamp: u64,
     state: BState,
 }
+
+/// Sentinel for [`Cache::mru`]: no valid hint for this set.
+const NO_MRU: u32 = u32::MAX;
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
@@ -115,6 +126,7 @@ impl Cache {
                 slots
             ],
             lens: vec![0; sets],
+            mru: vec![NO_MRU; sets],
             set_mask: (sets - 1) as u64,
             assoc: config.assoc,
             clock: 0,
@@ -140,11 +152,23 @@ impl Cache {
     }
 
     /// Looks up `block`, refreshing its LRU position. Counts a hit or miss.
+    #[inline]
     pub fn lookup(&mut self, block: u64) -> Option<BState> {
+        let set = self.set_of(block);
+        // Fast path: a repeat hit on the set's most-recently-stamped way.
+        // The line already holds the set's newest stamp, so re-stamping it
+        // (and spending a clock tick) cannot change any victim choice —
+        // skip both.
+        let hint = self.mru[set] as usize;
+        if hint != NO_MRU as usize && self.blocks[hint] == block {
+            self.stats.hits += 1;
+            return Some(self.meta[hint].state);
+        }
         self.clock += 1;
         if let Some(slot) = self.find(block) {
             let m = &mut self.meta[slot];
             m.stamp = self.clock;
+            self.mru[set] = slot as u32;
             self.stats.hits += 1;
             return Some(m.state);
         }
@@ -205,6 +229,7 @@ impl Cache {
                 stamp: clock,
                 state,
             };
+            self.mru[set] = victim as u32;
             self.stats.evictions += 1;
             return Some(evicted);
         };
@@ -213,6 +238,7 @@ impl Cache {
             stamp: clock,
             state,
         };
+        self.mru[set] = slot as u32;
         None
     }
 
@@ -226,6 +252,9 @@ impl Cache {
         self.blocks[slot] = self.blocks[last];
         self.meta[slot] = self.meta[last];
         self.lens[set] -= 1;
+        // The swap-remove may have moved the most-recent line into `slot`;
+        // rather than track that, drop the hint — the next hit re-stamps.
+        self.mru[set] = NO_MRU;
         self.stats.invalidations += 1;
         Some(state)
     }

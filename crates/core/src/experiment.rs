@@ -228,7 +228,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The measurements of one run, in the units the paper's figures use.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunMetrics {
     /// Execution time (max over processors), µs.
     pub exec_us: f64,

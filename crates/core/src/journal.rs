@@ -97,6 +97,11 @@ pub fn sweep_fingerprint(
 ) -> u64 {
     let mut fp = Fingerprint::new();
     fp.absorb_str("spasm-sweep-v1");
+    // The shard contract rides in the fingerprint: per-shard journals
+    // and a serial journal of the same sweep interoperate, while shards
+    // cut under a different point→shard mapping are refused by
+    // `shard::merge_shards` instead of silently mis-merged.
+    fp.absorb_str(crate::shard::CONTRACT);
     fp.absorb_str(spec.id);
     fp.absorb_str(&spec.app.to_string());
     fp.absorb_str(&spec.net.to_string());
@@ -120,9 +125,10 @@ pub fn sweep_fingerprint(
     fp.finish()
 }
 
-/// A decoded journal record, held for replay.
+/// A decoded journal record, held for replay (also the unit
+/// `shard::merge_shards` reassembles figures from).
 #[derive(Debug)]
-enum ReplayPoint {
+pub(crate) enum ReplayPoint {
     Ok(RunMetrics),
     Failed { reason: String, attempts: u32 },
 }
@@ -367,7 +373,7 @@ fn encode_point(
     buf
 }
 
-fn decode_point(record: &[u8]) -> Result<(Machine, usize, ReplayPoint), String> {
+pub(crate) fn decode_point(record: &[u8]) -> Result<(Machine, usize, ReplayPoint), String> {
     let mut c = Cursor {
         buf: record,
         pos: 0,

@@ -38,6 +38,7 @@ pub mod ablation;
 mod experiment;
 pub mod figures;
 pub mod journal;
+pub mod shard;
 pub mod sweep;
 
 pub use experiment::{run_bodies, Experiment, ExperimentError, Machine, Net, RunMetrics};

@@ -231,20 +231,94 @@ pub fn run_figure_journaled(
     run_figure_inner(spec, size, procs, seed, sweep, Some(journal), observe)
 }
 
-fn run_figure_inner(
+/// What one shard worker's pass over its points amounted to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRunReport {
+    /// Points the shard contract assigns to this worker.
+    pub owned: usize,
+    /// Owned points replayed from the journal without simulating.
+    pub replayed: usize,
+    /// Owned points simulated (and journaled) by this pass.
+    pub fresh: usize,
+    /// Owned points whose verdict — replayed or fresh — is a failure,
+    /// including job-level casualties that never reached the journal.
+    pub failed: usize,
+}
+
+/// Runs only the points shard `shard` owns (see
+/// [`crate::shard::ShardSpec::owns`]) through the journaled sweep path:
+/// one worker process's slice of a fleet-wide figure sweep.
+///
+/// No [`FigureData`] is assembled — a shard's output *is* its journal,
+/// which [`crate::shard::merge_shards`] later reassembles byte-identically
+/// to a serial run. Kill this worker at any moment and re-run it with a
+/// resumed journal: completed points replay, the rest re-run, and the
+/// shard converges on the same records.
+#[allow(clippy::too_many_arguments)] // mirrors run_figure_journaled + the shard
+pub fn run_figure_shard(
     spec: &FigureSpec,
     size: SizeClass,
     procs: &[usize],
     seed: u64,
     sweep: SweepConfig,
-    journal: Option<&SweepJournal>,
+    shard: crate::shard::ShardSpec,
+    journal: &SweepJournal,
     observe: impl FnMut(&ExecEvent),
-) -> FigureData {
-    // Series-major (= serial iteration) order, minus already-journaled
-    // points: submission indices — and thus job seeds and results — stay
-    // deterministic for a fixed replay set.
-    let points: Vec<(Machine, Experiment)> = spec
-        .machines
+) -> ShardRunReport {
+    let mut owned = 0usize;
+    let mut replayed = 0usize;
+    let mut failed = 0usize;
+    let mut points = Vec::new();
+    for (i, (machine, exp)) in grid(spec, size, procs, seed).into_iter().enumerate() {
+        if !shard.owns(i) {
+            continue;
+        }
+        owned += 1;
+        match journal.lookup(machine, exp.procs) {
+            Some((outcome, _)) => {
+                replayed += 1;
+                if !outcome.is_ok() {
+                    failed += 1;
+                }
+            }
+            None => points.push((machine, exp)),
+        }
+    }
+    let fresh = points.len();
+    let report = execute(
+        exec_config(sweep, seed),
+        points,
+        |_ctx, (machine, exp)| journaled_point(Some(journal), sweep, machine, &exp),
+        observe,
+    );
+    for slot in &report.results {
+        match slot {
+            Ok((outcome, _)) if outcome.is_ok() => {}
+            // A failed point or a job-level casualty (cancelled,
+            // deadlined, panicked) — the latter never reached the
+            // journal and will re-run on the next resume.
+            _ => failed += 1,
+        }
+    }
+    ShardRunReport {
+        owned,
+        replayed,
+        fresh,
+        failed,
+    }
+}
+
+/// The sweep's full point grid in series-major (= serial iteration)
+/// order: every processor count of the first machine, then the second,
+/// …. The enumeration index of this order is the *point index* the
+/// shard contract ([`crate::shard::ShardSpec::owns`]) partitions.
+fn grid(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+) -> Vec<(Machine, Experiment)> {
+    spec.machines
         .iter()
         .flat_map(|&machine| {
             procs.iter().map(move |&p| {
@@ -261,11 +335,13 @@ fn run_figure_inner(
                 )
             })
         })
-        .filter(|&(machine, ref exp)| {
-            journal.is_none_or(|j| j.lookup(machine, exp.procs).is_none())
-        })
-        .collect();
-    let config = ExecConfig {
+        .collect()
+}
+
+/// The executor configuration shared by the full and sharded sweep
+/// paths.
+fn exec_config(sweep: SweepConfig, seed: u64) -> ExecConfig {
+    ExecConfig {
         jobs: sweep.jobs,
         seed,
         deadline: sweep.deadline,
@@ -273,26 +349,53 @@ fn run_figure_inner(
             .total_events
             .map_or(CostBudget::UNLIMITED, CostBudget::units),
         ..ExecConfig::default()
-    };
+    }
+}
+
+/// Runs one submitted point on a worker and makes it durable: the
+/// journal append (an atomic whole-file commit) happens before the
+/// result becomes visible to the caller, so a crash after this function
+/// loses nothing.
+fn journaled_point(
+    journal: Option<&SweepJournal>,
+    sweep: SweepConfig,
+    machine: Machine,
+    exp: &Experiment,
+) -> JobOutput<(Outcome, Option<RunMetrics>)> {
+    let (outcome, m) = run_point(exp, machine, sweep);
+    if let Some(j) = journal {
+        j.record(machine, exp.procs, &outcome, m.as_ref());
+    }
+    let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
+    JobOutput {
+        value: (outcome, m),
+        cost,
+        faults,
+    }
+}
+
+fn run_figure_inner(
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: SweepConfig,
+    journal: Option<&SweepJournal>,
+    observe: impl FnMut(&ExecEvent),
+) -> FigureData {
+    // Series-major order, minus already-journaled points: submission
+    // indices — and thus job seeds and results — stay deterministic for
+    // a fixed replay set.
+    let points: Vec<(Machine, Experiment)> = grid(spec, size, procs, seed)
+        .into_iter()
+        .filter(|&(machine, ref exp)| {
+            journal.is_none_or(|j| j.lookup(machine, exp.procs).is_none())
+        })
+        .collect();
     let report = execute(
-        config,
+        exec_config(sweep, seed),
         points,
-        |_ctx, (machine, exp)| {
-            let (outcome, m) = run_point(&exp, machine, sweep);
-            // Durable the moment it is decided: the journal append (an
-            // atomic whole-file commit) happens before the result enters
-            // the in-memory figure, so a crash after this line loses
-            // nothing.
-            if let Some(j) = journal {
-                j.record(machine, exp.procs, &outcome, m.as_ref());
-            }
-            let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
-            JobOutput {
-                value: (outcome, m),
-                cost,
-                faults,
-            }
-        },
+        |_ctx, (machine, exp)| journaled_point(journal, sweep, machine, &exp),
         observe,
     );
 

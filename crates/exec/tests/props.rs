@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use spasm_exec::{
-    execute, seed_for, CancelReason, CancelToken, CostBudget, ExecConfig, ExecEvent, JobError,
-    JobOutput,
+    execute, seed_for, Backoff, CancelReason, CancelToken, CostBudget, ExecConfig, ExecEvent,
+    JobError, JobOutput,
 };
 use spasm_testkit::{check, check_with, gens, prop_assert, prop_assert_eq, Config};
 
@@ -441,6 +441,57 @@ fn job_seeds_are_schedule_independent() {
             let expect: Vec<u64> = (0..12).map(|i| seed_for(*base, i)).collect();
             prop_assert_eq!(seeds(1), expect.clone());
             prop_assert_eq!(seeds(*workers), expect);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backoff_schedule_is_jittered_capped_exponential_and_pure() {
+    // The documented contract of Backoff::delay: for retry k (1-based)
+    // the delay lies in [ceil/2, ceil] with ceil = min(cap, base << (k-1))
+    // (cap never undercutting base), the ceiling grows monotonically
+    // until it saturates at the cap, and the whole schedule is a pure
+    // function of (base, cap, seed, k) — byte-identical on every call.
+    check(
+        "exec_backoff_schedule",
+        &gens::tuple3(
+            gens::u64s(1..2_000_000_000),
+            gens::u64s(0..2_000_000_000),
+            gens::u64s(0..u64::MAX),
+        ),
+        |&(base_ns, cap_ns, seed)| {
+            let b =
+                Backoff::exponential(Duration::from_nanos(base_ns), Duration::from_nanos(cap_ns));
+            prop_assert_eq!(b.delay(seed, 0), Duration::ZERO);
+            let eff_cap = cap_ns.max(base_ns);
+            let mut prev_ceiling = 0u64;
+            // Past retry 64 the shift saturates; 70 covers both regimes.
+            for retry in 1..=70u32 {
+                let shift = (retry - 1).min(63);
+                let ceiling = base_ns.saturating_mul(1u64 << shift).min(eff_cap);
+                prop_assert!(
+                    ceiling >= prev_ceiling && ceiling <= eff_cap,
+                    "retry {}: ceiling {} not monotone-capped (prev {}, cap {})",
+                    retry,
+                    ceiling,
+                    prev_ceiling,
+                    eff_cap
+                );
+                prev_ceiling = ceiling;
+                let d = u64::try_from(b.delay(seed, retry).as_nanos()).unwrap();
+                prop_assert!(
+                    d >= ceiling / 2 && d <= ceiling,
+                    "retry {}: delay {} outside [{}, {}]",
+                    retry,
+                    d,
+                    ceiling / 2,
+                    ceiling
+                );
+                prop_assert_eq!(b.delay(seed, retry), b.delay(seed, retry));
+                // Jitter is per-seed: NONE stays identically zero.
+                prop_assert_eq!(Backoff::NONE.delay(seed, retry), Duration::ZERO);
+            }
             Ok(())
         },
     );

@@ -242,6 +242,75 @@ pub struct Recovery {
     pub truncated_bytes: usize,
 }
 
+/// Validates a journal image and scans its record frames, returning the
+/// header fingerprint, the valid record payloads in append order, and
+/// the byte offset of the valid prefix's end (anything past it is a torn
+/// tail).
+///
+/// The scan stops at the first frame that runs past end-of-file: that is
+/// a torn write (the crash window of an append). A frame that is fully
+/// present but fails its CRC is interior corruption and fails typed
+/// instead — truncating there could drop an unbounded amount of valid
+/// history without telling the caller.
+fn scan(
+    path: &Path,
+    buf: &[u8],
+    expected_fingerprint: u64,
+) -> Result<(u64, Vec<Vec<u8>>, usize), JournalError> {
+    if buf.len() < HEADER_LEN || &buf[..MAGIC.len()] != MAGIC {
+        return Err(JournalError::NotAJournal {
+            path: path.to_path_buf(),
+        });
+    }
+    let found = u64::from_le_bytes(
+        buf[MAGIC.len()..HEADER_LEN]
+            .try_into()
+            .expect("header slice is exactly 8 bytes"),
+    );
+    if found != expected_fingerprint {
+        return Err(JournalError::FingerprintMismatch {
+            path: path.to_path_buf(),
+            expected: expected_fingerprint,
+            found,
+        });
+    }
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    loop {
+        let rem = buf.len() - off;
+        if rem == 0 {
+            break;
+        }
+        if rem < FRAME_LEN {
+            break; // torn: not even a whole frame header
+        }
+        let len = u32::from_le_bytes(
+            buf[off..off + 4]
+                .try_into()
+                .expect("length slice is exactly 4 bytes"),
+        ) as usize;
+        if rem < FRAME_LEN + len {
+            break; // torn: payload cut short (or a garbage length)
+        }
+        let stored = u64::from_le_bytes(
+            buf[off + 4..off + FRAME_LEN]
+                .try_into()
+                .expect("crc slice is exactly 8 bytes"),
+        );
+        let payload = &buf[off + FRAME_LEN..off + FRAME_LEN + len];
+        if crc64(payload) != stored {
+            return Err(JournalError::CorruptRecord {
+                path: path.to_path_buf(),
+                index: records.len(),
+                offset: off,
+            });
+        }
+        records.push(payload.to_vec());
+        off += FRAME_LEN + len;
+    }
+    Ok((found, records, off))
+}
+
 /// A durable append-only journal of opaque records. See the crate docs
 /// for the format and the durability contract.
 #[derive(Debug)]
@@ -302,63 +371,7 @@ impl Journal {
             path: path.clone(),
             error,
         })?;
-        if buf.len() < HEADER_LEN || &buf[..MAGIC.len()] != MAGIC {
-            return Err(JournalError::NotAJournal { path });
-        }
-        let found = u64::from_le_bytes(
-            buf[MAGIC.len()..HEADER_LEN]
-                .try_into()
-                .expect("header slice is exactly 8 bytes"),
-        );
-        if found != expected_fingerprint {
-            return Err(JournalError::FingerprintMismatch {
-                path,
-                expected: expected_fingerprint,
-                found,
-            });
-        }
-
-        // Scan record frames. The scan stops at the first frame that
-        // runs past end-of-file: that is a torn write (the crash window
-        // of an append), repaired by truncation. A frame that is fully
-        // present but fails its CRC is interior corruption and fails
-        // typed instead — truncating there could drop an unbounded
-        // amount of valid history without telling the caller.
-        let mut records = Vec::new();
-        let mut off = HEADER_LEN;
-        loop {
-            let rem = buf.len() - off;
-            if rem == 0 {
-                break;
-            }
-            if rem < FRAME_LEN {
-                break; // torn: not even a whole frame header
-            }
-            let len = u32::from_le_bytes(
-                buf[off..off + 4]
-                    .try_into()
-                    .expect("length slice is exactly 4 bytes"),
-            ) as usize;
-            if rem < FRAME_LEN + len {
-                break; // torn: payload cut short (or a garbage length)
-            }
-            let stored = u64::from_le_bytes(
-                buf[off + 4..off + FRAME_LEN]
-                    .try_into()
-                    .expect("crc slice is exactly 8 bytes"),
-            );
-            let payload = &buf[off + FRAME_LEN..off + FRAME_LEN + len];
-            if crc64(payload) != stored {
-                return Err(JournalError::CorruptRecord {
-                    path,
-                    index: records.len(),
-                    offset: off,
-                });
-            }
-            records.push(payload.to_vec());
-            off += FRAME_LEN + len;
-        }
-
+        let (found, records, off) = scan(&path, &buf, expected_fingerprint)?;
         let truncated_bytes = buf.len() - off;
         let mut journal = Journal {
             path,
@@ -377,6 +390,35 @@ impl Journal {
                 truncated_bytes,
             },
         ))
+    }
+
+    /// Reads a journal without taking ownership of it: verifies the
+    /// header and every record checksum exactly like [`Journal::open`],
+    /// but never writes — a torn tail is tolerated and reported via
+    /// [`Recovery::truncated_bytes`] without being repaired on disk.
+    /// The reader for files another process may still be appending to
+    /// (e.g. a merge over live shard journals).
+    ///
+    /// # Errors
+    ///
+    /// The same classes as [`Journal::open`]:
+    /// [`JournalError::NotAJournal`], [`JournalError::FingerprintMismatch`],
+    /// [`JournalError::CorruptRecord`], or [`JournalError::Io`].
+    pub fn read(
+        path: impl AsRef<Path>,
+        expected_fingerprint: u64,
+    ) -> Result<Recovery, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let buf = fs::read(&path).map_err(|error| JournalError::Io {
+            op: "read",
+            path: path.clone(),
+            error,
+        })?;
+        let (_, records, off) = scan(&path, &buf, expected_fingerprint)?;
+        Ok(Recovery {
+            records,
+            truncated_bytes: buf.len() - off,
+        })
     }
 
     /// Appends one record and commits it durably (the call returns only
@@ -453,6 +495,43 @@ mod tests {
         let path = dir.join(name);
         let _ = fs::remove_file(&path);
         path
+    }
+
+    #[test]
+    fn read_is_read_only_and_tolerates_a_torn_tail() {
+        let path = scratch("read-only.journal");
+        let mut j = Journal::create(&path, 9).unwrap();
+        j.append(b"one").unwrap();
+        j.append(b"two").unwrap();
+        drop(j);
+        // Simulate a torn append: extra garbage past the valid prefix.
+        let clean = fs::read(&path).unwrap();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&[7u8; 5]);
+        fs::write(&path, &torn).unwrap();
+
+        let rec = Journal::read(&path, 9).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0], b"one");
+        assert_eq!(rec.truncated_bytes, 5);
+        // The torn tail was reported, not repaired: the file on disk is
+        // untouched (it may belong to a live writer mid-append).
+        assert_eq!(fs::read(&path).unwrap(), torn);
+
+        // The same error surface as open.
+        match Journal::read(&path, 10) {
+            Err(JournalError::FingerprintMismatch { found, .. }) => assert_eq!(found, 9),
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        fs::write(&path, &clean).unwrap();
+        let mut buf = clean;
+        buf[HEADER_LEN + FRAME_LEN] ^= 0xff; // first record's payload
+        fs::write(&path, &buf).unwrap();
+        match Journal::read(&path, 9) {
+            Err(JournalError::CorruptRecord { index, .. }) => assert_eq!(index, 0),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -179,7 +179,14 @@ enum Ev {
     /// An operation completes: apply its effect and resume the processor.
     Commit(usize, Action),
     /// An explicit message arrives at its destination's mailbox.
-    Deliver { dst: usize, tag: u64, value: u64 },
+    /// `drops` counts how many times this delivery has already been
+    /// dropped in flight (bounds injected message loss).
+    Deliver {
+        dst: usize,
+        tag: u64,
+        value: u64,
+        drops: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -380,6 +387,41 @@ impl Engine {
                     events: self.processed,
                 });
             }
+            // Injected message loss intercepts a delivery as it leaves
+            // the queue: the in-flight copy vanishes and a retransmitted
+            // one is scheduled after the plan's timeout. Decided before
+            // the checker observes the delivery, so the conservation
+            // ledger follows the drop instead of tripping on a delivery
+            // that never happens.
+            if let Ev::Deliver {
+                dst,
+                tag,
+                value,
+                drops,
+            } = ev
+            {
+                if let Some(pause) = self
+                    .injector
+                    .as_mut()
+                    .and_then(|inj| inj.message_loss(drops))
+                {
+                    let retry_at = t + pause;
+                    if let Some(chk) = &mut self.checker {
+                        chk.on_event(t, || format!("Drop Deliver {{ dst: {dst}, tag: {tag} }}"))?;
+                        chk.on_drop(dst, tag, t, retry_at)?;
+                    }
+                    self.push_ev(
+                        retry_at,
+                        Ev::Deliver {
+                            dst,
+                            tag,
+                            value,
+                            drops: drops + 1,
+                        },
+                    );
+                    continue;
+                }
+            }
             if let Some(chk) = &mut self.checker {
                 chk.on_event(t, || format!("{ev:?}"))?;
                 if let Ev::Deliver { dst, tag, .. } = &ev {
@@ -389,7 +431,9 @@ impl Engine {
             match ev {
                 Ev::Dispatch(proc, req) => self.dispatch(proc, req)?,
                 Ev::Commit(proc, action) => self.commit(proc, action)?,
-                Ev::Deliver { dst, tag, value } => self.deliver(dst, tag, value),
+                Ev::Deliver {
+                    dst, tag, value, ..
+                } => self.deliver(dst, tag, value),
             }
         }
         if self.live > 0 {
@@ -412,8 +456,11 @@ impl Engine {
             });
         }
         if let Some(chk) = &mut self.checker {
-            let duplicates = self.injector.as_ref().map_or(0, |i| i.counters.duplicated);
-            chk.on_run_end(duplicates)?;
+            let (duplicates, retransmits) = self
+                .injector
+                .as_ref()
+                .map_or((0, 0), |i| (i.counters.duplicated, i.counters.retransmits));
+            chk.on_run_end(duplicates, retransmits)?;
             if self.events.popped() != self.events.pushed() {
                 return Err(RunError::Check(CheckViolation {
                     invariant: "event-accounting",
@@ -525,7 +572,15 @@ impl Engine {
                 }
                 self.push_ev(cost.sender_free, Ev::Commit(proc, Action::Sent));
                 for _ in 0..copies {
-                    self.push_ev(delivered, Ev::Deliver { dst, tag, value });
+                    self.push_ev(
+                        delivered,
+                        Ev::Deliver {
+                            dst,
+                            tag,
+                            value,
+                            drops: 0,
+                        },
+                    );
                 }
             }
             MemReq::Recv { tag } => {

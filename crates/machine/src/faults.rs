@@ -1,10 +1,12 @@
 //! Deterministic fault injection and run budgets.
 //!
 //! A [`FaultPlan`] describes *adversity* to inject into a simulation:
-//! message delays and duplications on the network path, per-node stall
-//! windows (a node that briefly stops dispatching, as if its OS took an
-//! interrupt), and forced coherence-controller retries (a directory that
-//! NACKs and makes the requester re-arbitrate). All decisions are drawn
+//! message delays, duplications, and losses on the network path (a lost
+//! message vanishes in flight and a retransmitted copy arrives after a
+//! timeout), per-node stall windows (a node that briefly stops
+//! dispatching, as if its OS took an interrupt), and forced
+//! coherence-controller retries (a directory that NACKs and makes the
+//! requester re-arbitrate). All decisions are drawn
 //! from one in-tree [`SplitMix64`] stream seeded by the plan, and the
 //! engine processes events in a deterministic order, so a given
 //! `(experiment, plan)` pair always injects the *same* faults at the same
@@ -76,6 +78,15 @@ pub struct FaultPlan {
     /// Probability that an explicit message is duplicated (the copy
     /// arrives after the original; receivers must tolerate it).
     pub dup_prob: f64,
+    /// Probability that a delivery is dropped in flight. A dropped
+    /// message is retransmitted [`Self::retransmit_ns`] later; after
+    /// [`Self::max_retransmits`] drops the next copy always arrives, so
+    /// delivery is guaranteed by the bound rather than the dice.
+    pub loss_prob: f64,
+    /// Delay before a dropped message's retransmitted copy arrives.
+    pub retransmit_ns: u64,
+    /// Maximum drops per message before the loss roll is bypassed.
+    pub max_retransmits: u32,
     /// Probability that a processor stalls before its next operation.
     pub stall_prob: f64,
     /// Stall window length in nanoseconds.
@@ -96,6 +107,9 @@ impl FaultPlan {
             delay_prob: 0.0,
             max_delay_ns: 0,
             dup_prob: 0.0,
+            loss_prob: 0.0,
+            retransmit_ns: 0,
+            max_retransmits: 0,
             stall_prob: 0.0,
             stall_ns: 0,
             retry_prob: 0.0,
@@ -104,14 +118,18 @@ impl FaultPlan {
     }
 
     /// An adversarial plan exercising every fault class at once: 10%
-    /// message delay (up to 2 µs), 5% duplication, 2% stalls of 5 µs, and
-    /// 10% single retries.
+    /// message delay (up to 2 µs), 5% duplication, 2% loss (3 µs
+    /// retransmission timeout, at most 2 drops per message), 2% stalls
+    /// of 5 µs, and 10% single retries.
     pub fn adversarial(seed: u64) -> Self {
         FaultPlan {
             seed,
             delay_prob: 0.10,
             max_delay_ns: 2_000,
             dup_prob: 0.05,
+            loss_prob: 0.02,
+            retransmit_ns: 3_000,
+            max_retransmits: 2,
             stall_prob: 0.02,
             stall_ns: 5_000,
             retry_prob: 0.10,
@@ -132,6 +150,7 @@ impl FaultPlan {
     pub fn is_active(&self) -> bool {
         self.delay_prob > 0.0
             || self.dup_prob > 0.0
+            || self.loss_prob > 0.0
             || self.stall_prob > 0.0
             || self.retry_prob > 0.0
     }
@@ -144,6 +163,8 @@ pub struct FaultCounters {
     pub delayed: u64,
     /// Messages duplicated.
     pub duplicated: u64,
+    /// Deliveries dropped in flight and retransmitted.
+    pub retransmits: u64,
     /// Processor stall windows inserted.
     pub stalls: u64,
     /// Coherence/memory transactions forced to retry.
@@ -153,7 +174,7 @@ pub struct FaultCounters {
 impl FaultCounters {
     /// Total faults of all classes.
     pub fn total(&self) -> u64 {
-        self.delayed + self.duplicated + self.stalls + self.retries
+        self.delayed + self.duplicated + self.retransmits + self.stalls + self.retries
     }
 }
 
@@ -198,6 +219,24 @@ impl FaultInjector {
         dup
     }
 
+    /// Whether to drop a delivery that has already been dropped `drops`
+    /// times, and if so how long until the retransmitted copy arrives.
+    ///
+    /// The retransmission bound is checked *before* the dice roll, so
+    /// the attempt after the last permitted drop consumes no stream
+    /// draw and always delivers — a message can be late, never lost.
+    pub(crate) fn message_loss(&mut self, drops: u32) -> Option<SimTime> {
+        if self.plan.retransmit_ns == 0 || drops >= self.plan.max_retransmits {
+            return None;
+        }
+        if self.roll(self.plan.loss_prob) {
+            self.counters.retransmits += 1;
+            Some(SimTime::from_ns(self.plan.retransmit_ns))
+        } else {
+            None
+        }
+    }
+
     /// Stall window to insert before a processor's next operation.
     pub(crate) fn stall(&mut self) -> Option<SimTime> {
         if self.roll(self.plan.stall_prob) && self.plan.stall_ns > 0 {
@@ -229,6 +268,7 @@ mod tests {
         for _ in 0..1000 {
             assert!(inj.message_delay().is_none());
             assert!(!inj.duplicate());
+            assert!(inj.message_loss(0).is_none());
             assert!(inj.stall().is_none());
             assert_eq!(inj.coherence_retries(), 0);
         }
@@ -242,14 +282,33 @@ mod tests {
         for _ in 0..10_000 {
             inj.message_delay();
             inj.duplicate();
+            inj.message_loss(0);
             inj.stall();
             inj.coherence_retries();
         }
         let c = inj.counters;
         assert!(c.delayed > 0, "no delays in 10k rolls");
         assert!(c.duplicated > 0, "no dups in 10k rolls");
+        assert!(c.retransmits > 0, "no losses in 10k rolls");
         assert!(c.stalls > 0, "no stalls in 10k rolls");
         assert!(c.retries > 0, "no retries in 10k rolls");
+    }
+
+    #[test]
+    fn loss_is_bounded_by_max_retransmits() {
+        let plan = FaultPlan {
+            loss_prob: 1.0,
+            retransmit_ns: 500,
+            max_retransmits: 2,
+            ..FaultPlan::quiet(8)
+        };
+        let mut inj = FaultInjector::new(plan);
+        // Certain loss still delivers: the roll is bypassed once a
+        // message has burned its retransmission budget.
+        assert_eq!(inj.message_loss(0), Some(SimTime::from_ns(500)));
+        assert_eq!(inj.message_loss(1), Some(SimTime::from_ns(500)));
+        assert_eq!(inj.message_loss(2), None);
+        assert_eq!(inj.counters.retransmits, 2);
     }
 
     #[test]

@@ -113,6 +113,22 @@ fn delayed_message_trips_delivery_conformance() {
 }
 
 #[test]
+fn dropped_message_trips_message_conservation() {
+    let plan = FaultPlan {
+        loss_prob: 1.0,
+        retransmit_ns: 1_000,
+        max_retransmits: 1,
+        ..FaultPlan::quiet(6)
+    };
+    expect_violation(
+        MachineKind::Target,
+        plan,
+        msgpass_workload,
+        "message-conservation",
+    );
+}
+
+#[test]
 fn stalled_processor_trips_dispatch_conformance() {
     let plan = FaultPlan {
         stall_prob: 1.0,
@@ -159,6 +175,12 @@ fn lenient_mode_tolerates_every_species() {
             retry_prob: 1.0,
             max_retries: 1,
             ..FaultPlan::quiet(4)
+        },
+        FaultPlan {
+            loss_prob: 1.0,
+            retransmit_ns: 1_000,
+            max_retransmits: 2,
+            ..FaultPlan::quiet(6)
         },
     ];
     for plan in plans {

@@ -150,13 +150,37 @@ fn retry_counts_exactly_one_per_remote_transaction() {
     }
 }
 
+#[test]
+fn loss_counts_exactly_one_per_drop() {
+    // Certain loss drops every delivery `max_retransmits` times before
+    // the bound forces it through, so the retransmission count is an
+    // exact multiple of the message count.
+    for max in [1u32, 2, 3] {
+        let plan = FaultPlan {
+            loss_prob: 1.0,
+            retransmit_ns: 1_000,
+            max_retransmits: max,
+            ..FaultPlan::quiet(6)
+        };
+        for sends in [1u64, 3, 8] {
+            let report = run_faulted(MachineKind::Target, plan, msgpass(sends));
+            assert_eq!(
+                report.faults.retransmits,
+                sends * u64::from(max),
+                "sends={sends} max={max}"
+            );
+            assert_eq!(report.faults.total(), sends * u64::from(max));
+        }
+    }
+}
+
 /// A selector naming the counter a plan's single species owns.
 type CounterOf = fn(&spasm_machine::FaultCounters) -> u64;
 
 #[test]
 fn counters_are_disjoint_and_total_is_their_sum() {
-    // One species at a time: the other three counters stay zero.
-    let species: [(FaultPlan, CounterOf); 4] = [
+    // One species at a time: the other counters stay zero.
+    let species: [(FaultPlan, CounterOf); 5] = [
         (
             FaultPlan {
                 dup_prob: 1.0,
@@ -187,6 +211,15 @@ fn counters_are_disjoint_and_total_is_their_sum() {
                 ..FaultPlan::quiet(5)
             },
             |c| c.retries,
+        ),
+        (
+            FaultPlan {
+                loss_prob: 1.0,
+                retransmit_ns: 1_000,
+                max_retransmits: 1,
+                ..FaultPlan::quiet(5)
+            },
+            |c| c.retransmits,
         ),
     ];
     for (plan, own) in species {

@@ -11,8 +11,10 @@ cargo fmt --check
 echo "==> cargo clippy --offline --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+# --workspace so the release bins the later tiers drive (figures) are
+# built here explicitly, not as a side effect of the bench step.
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
 
 echo "==> cargo test -q --offline --workspace"
 tests_started=$SECONDS
@@ -134,6 +136,60 @@ if [ "$rc" -ne 5 ]; then
 fi
 if ! grep -q "record" <<< "$out"; then
     echo "ERROR: corrupted-journal error did not name the record:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+# Sharded fan-out: fleet.sh launches 3 shard workers over one journal
+# directory, SIGKILLs shard 2 after its first committed record,
+# relaunches it, and merges — the merged stdout must be byte-identical
+# to the serial reference from the kill-and-resume tier above.
+echo "==> fleet: 3 shards, SIGKILL one, relaunch, merge == serial"
+fdir=$(mktemp -d)
+trap 'rm -rf "$jdir" "$fdir"' EXIT
+timeout 120 scripts/fleet.sh --shards 3 --kill 2 --dir "$fdir" \
+    --out "$fdir/merged.out" -- --figure F2 --size test --procs 2,4,8 \
+    --serial --budget-events 50000000 2> /dev/null
+if ! diff "$jdir/ref.out" "$fdir/merged.out"; then
+    echo "ERROR: fleet merge is not byte-identical to the serial run" >&2
+    exit 1
+fi
+
+# Shard-merge degradation protocol: an interior-corrupt shard is
+# quarantined (exit 5), and once its file is gone entirely the merge
+# salvages partial figures (exit 3) with FAILED rows naming the absent
+# shard.
+echo "==> shard merge exit codes: corrupt=5, missing=3"
+printf '\x41' | dd of="$fdir/F2.shard-1-of-3.journal" bs=1 seek=40 \
+    conv=notrunc 2>/dev/null
+set +e
+out=$(timeout 60 ./target/release/figures --merge "$fdir" --figure F2 \
+    --size test --procs 2,4,8 --serial --budget-events 50000000 \
+    2>&1 > /dev/null)
+rc=$?
+set -e
+if [ "$rc" -ne 5 ]; then
+    echo "ERROR: corrupt-shard merge exited $rc, expected 5" >&2
+    exit 1
+fi
+if ! grep -q "quarantined" <<< "$out"; then
+    echo "ERROR: corrupt-shard merge did not report a quarantine:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+rm "$fdir/F2.shard-1-of-3.journal"
+set +e
+out=$(timeout 60 ./target/release/figures --merge "$fdir" --figure F2 \
+    --size test --procs 2,4,8 --serial --budget-events 50000000 \
+    2>&1 > /dev/null)
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "ERROR: missing-shard merge exited $rc, expected 3" >&2
+    exit 1
+fi
+if ! grep -q "shard 1/3" <<< "$out"; then
+    echo "ERROR: salvaged rows did not name the absent shard:" >&2
     echo "$out" >&2
     exit 1
 fi

@@ -1,0 +1,278 @@
+//! Whole-stack sharded fan-out: for any shard width and any kill/resume
+//! schedule, merging the per-shard journals must render **byte-identical**
+//! to a single-process serial run. Overlapping shards dedup; shards that
+//! disagree on a point abort the merge; corrupt, mismatched, or missing
+//! shards degrade to quarantine + partial-figure salvage — never a panic,
+//! never a silently different figure.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use spasm::apps::SizeClass;
+use spasm::core::figures::{self, FigureSpec};
+use spasm::core::journal::{sweep_fingerprint, SweepJournal};
+use spasm::core::shard::{merge_shards, MergeReport, ShardError, ShardSpec};
+use spasm::core::sweep::{run_figure_shard, run_figure_with, Outcome, SweepConfig};
+use spasm::journal::Journal;
+
+const SEED: u64 = 5;
+const PROCS: [usize; 2] = [2, 4];
+
+fn spec() -> &'static FigureSpec {
+    figures::by_id("F1").expect("F1 is a defined figure")
+}
+
+/// A unique scratch directory per call, so tests never collide.
+fn scratch_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("spasm-shard-merge-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+/// The uninterrupted serial run's renderings, computed once.
+fn serial() -> &'static (String, String) {
+    static FIXTURE: OnceLock<(String, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = run_figure_with(
+            spec(),
+            SizeClass::Test,
+            &PROCS,
+            SEED,
+            SweepConfig::default(),
+        );
+        (data.render_table(), data.to_csv())
+    })
+}
+
+/// Runs (or resumes) one shard worker's pass into `dir`, exactly as
+/// `figures --shard K/N --journal dir --resume` does.
+fn run_shard(dir: &Path, shard: ShardSpec) {
+    let path = dir.join(shard.file_name(spec().id));
+    let sweep = SweepConfig::default();
+    let journal = SweepJournal::resume(&path, spec(), SizeClass::Test, &PROCS, SEED, &sweep)
+        .expect("shard journal opens");
+    run_figure_shard(
+        spec(),
+        SizeClass::Test,
+        &PROCS,
+        SEED,
+        sweep,
+        shard,
+        &journal,
+        |_| {},
+    );
+}
+
+fn merge(dir: &Path) -> Result<MergeReport, ShardError> {
+    merge_shards(
+        dir,
+        spec(),
+        SizeClass::Test,
+        &PROCS,
+        SEED,
+        &SweepConfig::default(),
+    )
+}
+
+fn assert_identical(report: &MergeReport) {
+    let (table, csv) = serial();
+    assert_eq!(
+        &report.data.render_table(),
+        table,
+        "table must match serial"
+    );
+    assert_eq!(&report.data.to_csv(), csv, "csv must match serial");
+}
+
+#[test]
+fn merge_is_byte_identical_to_serial_for_every_width() {
+    let total = spec().machines.len() * PROCS.len();
+    for n in [1usize, 2, 3, 8] {
+        let dir = scratch_dir();
+        // Launch order must not matter: run the workers in reverse.
+        for k in (1..=n).rev() {
+            run_shard(&dir, ShardSpec::new(k, n).unwrap());
+        }
+        let report = merge(&dir).expect("merge succeeds");
+        assert_identical(&report);
+        assert_eq!(report.points_merged, total, "N={n}");
+        assert_eq!(report.duplicates, 0, "N={n}");
+        assert_eq!(report.missing_points, 0, "N={n}");
+        assert!(report.quarantined.is_empty(), "N={n}");
+        // With more shards than points, the surplus workers own nothing
+        // and write header-only journals — still merged, still clean.
+        assert_eq!(report.shards_merged, n, "N={n}");
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn any_kill_and_resume_schedule_converges() {
+    let dir = scratch_dir();
+    for k in 1..=3 {
+        run_shard(&dir, ShardSpec::new(k, 3).unwrap());
+    }
+    let victim = dir.join(ShardSpec::new(2, 3).unwrap().file_name(spec().id));
+    let full = fs::read(&victim).expect("victim shard readable");
+    // A SIGKILL can stop the worker's whole-file commit at any byte:
+    // replay the shard from every interesting prefix — header only,
+    // mid-frame, one frame short — and demand convergence.
+    for cut in [16usize, 17, full.len() / 2, full.len() - 5] {
+        fs::write(&victim, &full[..cut]).expect("simulated torn commit");
+        run_shard(&dir, ShardSpec::new(2, 3).unwrap());
+        let report = merge(&dir).expect("merge succeeds after resume");
+        assert_identical(&report);
+        assert_eq!(report.missing_points, 0, "cut at {cut}");
+    }
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn overlapping_shard_sets_are_deduplicated() {
+    let total = spec().machines.len() * PROCS.len();
+    let dir = scratch_dir();
+    // Three *families* over the same sweep: every point is journaled
+    // twice (once by the 2-way family, once by the 1/1 full pass).
+    for shard in [
+        ShardSpec::new(1, 2).unwrap(),
+        ShardSpec::new(2, 2).unwrap(),
+        ShardSpec::new(1, 1).unwrap(),
+    ] {
+        run_shard(&dir, shard);
+    }
+    let report = merge(&dir).expect("agreeing overlaps merge fine");
+    assert_identical(&report);
+    assert_eq!(report.shards_merged, 3);
+    assert_eq!(report.points_merged, total);
+    assert_eq!(report.duplicates, total);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Reads a journal's header fingerprint straight off the disk layout
+/// (magic, then a little-endian u64) — the test forges rival shards
+/// without reaching into crate internals.
+fn header_fingerprint(path: &Path) -> u64 {
+    let bytes = fs::read(path).expect("journal readable");
+    u64::from_le_bytes(bytes[8..16].try_into().expect("header holds a u64"))
+}
+
+/// Forges a shard journal holding one tampered copy of an honest
+/// record, with `flip` applied to the payload before it is re-framed
+/// (checksums are recomputed by `append`, so only the semantic conflict
+/// check can catch it).
+fn forge_rival(dir: &Path, honest: &Path, rival: ShardSpec, flip: impl Fn(&mut Vec<u8>)) {
+    let fp = header_fingerprint(honest);
+    let recovery = Journal::read(honest, fp).expect("honest shard reads");
+    let mut record = recovery.records[0].clone();
+    flip(&mut record);
+    let path = dir.join(rival.file_name(spec().id));
+    let mut forged = Journal::create(&path, fp).expect("forged journal creates");
+    forged.append(&record).expect("forged record appends");
+}
+
+#[test]
+fn conflicting_overlap_aborts_the_merge() {
+    let dir = scratch_dir();
+    run_shard(&dir, ShardSpec::new(1, 1).unwrap());
+    let honest = dir.join(ShardSpec::new(1, 1).unwrap().file_name(spec().id));
+    // Flip a bit of `faults_injected` (the second-to-last u64 of an Ok
+    // record): still decodes, passes its checksum, but the simulation
+    // result now *differs* — the merge must refuse to pick a winner.
+    forge_rival(&dir, &honest, ShardSpec::new(1, 2).unwrap(), |rec| {
+        let i = rec.len() - 16;
+        rec[i] ^= 0x01;
+    });
+    match merge(&dir) {
+        Err(ShardError::Overlap { first, second, .. }) => {
+            assert_ne!(first, second);
+        }
+        other => panic!("expected Overlap, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn wall_clock_differences_are_not_conflicts() {
+    let dir = scratch_dir();
+    run_shard(&dir, ShardSpec::new(1, 1).unwrap());
+    let honest = dir.join(ShardSpec::new(1, 1).unwrap().file_name(spec().id));
+    // Same point, different host wall-clock (the last u64): exactly
+    // what an honest re-run of the point produces. Dedup, not conflict.
+    forge_rival(&dir, &honest, ShardSpec::new(1, 2).unwrap(), |rec| {
+        let i = rec.len() - 8;
+        rec[i] ^= 0xff;
+    });
+    let report = merge(&dir).expect("wall-clock skew is not a conflict");
+    assert_identical(&report);
+    assert_eq!(report.duplicates, 1);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn corrupt_shard_is_quarantined_and_its_points_salvaged() {
+    let dir = scratch_dir();
+    for k in 1..=3 {
+        run_shard(&dir, ShardSpec::new(k, 3).unwrap());
+    }
+    // Interior corruption (not a torn tail): flip a byte inside the
+    // first record of shard 1.
+    let victim = dir.join(ShardSpec::new(1, 3).unwrap().file_name(spec().id));
+    let mut bytes = fs::read(&victim).expect("victim readable");
+    bytes[40] ^= 0x01;
+    fs::write(&victim, &bytes).expect("corruption lands");
+    let report = merge(&dir).expect("merge survives a corrupt shard");
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(matches!(report.quarantined[0], ShardError::Corrupt { .. }));
+    assert!(report.missing_points > 0);
+    // Every uncovered point degrades to a FAILED cell naming the shard
+    // that should have produced it.
+    let named = report
+        .data
+        .series
+        .iter()
+        .flat_map(|s| &s.outcomes)
+        .filter(|o| match o {
+            Outcome::Failed { error, .. } => error.to_string().contains("shard 1/3"),
+            Outcome::Ok => false,
+        })
+        .count();
+    assert_eq!(named, report.missing_points);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn mismatched_fingerprint_shard_is_quarantined() {
+    let dir = scratch_dir();
+    run_shard(&dir, ShardSpec::new(1, 1).unwrap());
+    let honest = dir.join(ShardSpec::new(1, 1).unwrap().file_name(spec().id));
+    let alien = sweep_fingerprint(
+        spec(),
+        SizeClass::Test,
+        &PROCS,
+        SEED + 1, // a different seed: honest work, wrong configuration
+        &SweepConfig::default(),
+    );
+    assert_ne!(alien, header_fingerprint(&honest));
+    let path = dir.join(ShardSpec::new(2, 2).unwrap().file_name(spec().id));
+    Journal::create(&path, alien).expect("alien shard creates");
+    let report = merge(&dir).expect("merge survives a mismatched shard");
+    assert_identical(&report);
+    assert_eq!(report.quarantined.len(), 1);
+    assert!(matches!(
+        report.quarantined[0],
+        ShardError::FingerprintMismatch { .. }
+    ));
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn an_empty_directory_is_a_typed_missing_error() {
+    let dir = scratch_dir();
+    assert!(matches!(merge(&dir), Err(ShardError::Missing { .. })));
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
