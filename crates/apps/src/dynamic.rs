@@ -1,0 +1,169 @@
+//! Process-global registry for dynamically defined applications.
+//!
+//! The five built-in kernels are closed [`AppId`] variants; scenario-
+//! compiled workloads (and anything else constructed at run time) enter
+//! the same machinery through [`register_app`], which hands back an
+//! [`AppId::Custom`] usable everywhere a built-in id is: figure specs,
+//! sweeps, journals, shards.
+//!
+//! Identity semantics: a custom app is its *name plus canonical spec
+//! text*. Registering the same (name, canon) pair again is idempotent
+//! and returns the existing id; the same name with a different canon is
+//! refused — two processes that each register their scenario files in
+//! CLI order therefore agree on what every name means, and the sweep
+//! fingerprint absorbs the canon text itself (never the registry index),
+//! so journals and shards written by different scenario files can never
+//! silently interchange.
+
+use std::sync::{OnceLock, RwLock};
+
+use crate::{App, AppId, SizeClass};
+
+/// A registered dynamic application.
+struct Entry {
+    name: &'static str,
+    canon: &'static str,
+    factory: Box<dyn Fn(SizeClass) -> Box<dyn App> + Send + Sync>,
+}
+
+fn registry() -> &'static RwLock<Vec<Entry>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+fn read() -> std::sync::RwLockReadGuard<'static, Vec<Entry>> {
+    registry().read().expect("app registry poisoned")
+}
+
+/// Registers a dynamic application under `name`, with `canon` as its
+/// canonical definition text (for the journal fingerprint) and `factory`
+/// instantiating it per size class. Idempotent for an identical
+/// (name, canon) pair.
+///
+/// # Errors
+///
+/// When `name` collides with a built-in app or is already registered
+/// with a *different* canonical definition.
+pub fn register_app(
+    name: &str,
+    canon: &str,
+    factory: impl Fn(SizeClass) -> Box<dyn App> + Send + Sync + 'static,
+) -> Result<AppId, String> {
+    if AppId::ALL.iter().any(|id| id.name() == name) {
+        return Err(format!("app name {name:?} is a built-in application"));
+    }
+    let mut entries = registry().write().expect("app registry poisoned");
+    if let Some(i) = entries.iter().position(|e| e.name == name) {
+        return if entries[i].canon == canon {
+            Ok(AppId::Custom(i as u32))
+        } else {
+            Err(format!(
+                "app name {name:?} is already registered with a different definition"
+            ))
+        };
+    }
+    let i = entries.len();
+    entries.push(Entry {
+        name: Box::leak(name.to_string().into_boxed_str()),
+        canon: Box::leak(canon.to_string().into_boxed_str()),
+        factory: Box::new(factory),
+    });
+    Ok(AppId::Custom(i as u32))
+}
+
+/// The registered name for custom id `i`.
+///
+/// # Panics
+///
+/// Panics if `i` was never handed out by [`register_app`] — a custom
+/// [`AppId`] cannot be constructed honestly any other way.
+pub(crate) fn name_of(i: u32) -> &'static str {
+    read()
+        .get(i as usize)
+        .unwrap_or_else(|| panic!("custom app id {i} was never registered"))
+        .name
+}
+
+/// The canonical definition text for custom id `i` (see
+/// [`AppId::fingerprint_detail`]).
+pub(crate) fn canon_of(i: u32) -> &'static str {
+    read()
+        .get(i as usize)
+        .unwrap_or_else(|| panic!("custom app id {i} was never registered"))
+        .canon
+}
+
+/// Looks a registered app up by name.
+pub(crate) fn lookup(name: &str) -> Option<AppId> {
+    read()
+        .iter()
+        .position(|e| e.name == name)
+        .map(|i| AppId::Custom(i as u32))
+}
+
+/// Instantiates custom id `i` at `size`.
+pub(crate) fn instantiate(i: u32, size: SizeClass) -> Box<dyn App> {
+    (read()
+        .get(i as usize)
+        .unwrap_or_else(|| panic!("custom app id {i} was never registered"))
+        .factory)(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuiltApp, Ep};
+    use spasm_machine::SetupCtx;
+
+    struct Shim(&'static str);
+
+    impl App for Shim {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn build(&self, setup: &mut SetupCtx, seed: u64) -> BuiltApp {
+            Ep::new(SizeClass::Test).build(setup, seed)
+        }
+    }
+
+    #[test]
+    fn registration_roundtrips_and_is_idempotent() {
+        let id = register_app("dyn-test-app", "spec v1", |_| {
+            Box::new(Shim("dyn-test-app"))
+        })
+        .unwrap();
+        assert!(matches!(id, AppId::Custom(_)));
+        assert_eq!(id.name(), "dyn-test-app");
+        assert_eq!(id.to_string(), "dyn-test-app");
+        assert_eq!(AppId::from_name("dyn-test-app"), Some(id));
+        assert_eq!(id.fingerprint_detail(), Some("spec v1"));
+        assert_eq!(id.instantiate(SizeClass::Test).name(), "dyn-test-app");
+
+        // Same name + same canon: the same id back.
+        let again = register_app("dyn-test-app", "spec v1", |_| {
+            Box::new(Shim("dyn-test-app"))
+        })
+        .unwrap();
+        assert_eq!(id, again);
+
+        // Same name + different canon: refused.
+        let err = register_app("dyn-test-app", "spec v2", |_| {
+            Box::new(Shim("dyn-test-app"))
+        })
+        .unwrap_err();
+        assert!(err.contains("different definition"), "{err}");
+    }
+
+    #[test]
+    fn builtin_names_are_reserved() {
+        let err = register_app("ep", "x", |_| Box::new(Shim("ep"))).unwrap_err();
+        assert!(err.contains("built-in"), "{err}");
+    }
+
+    #[test]
+    fn builtins_have_no_fingerprint_detail() {
+        for id in AppId::ALL {
+            assert_eq!(id.fingerprint_detail(), None);
+        }
+    }
+}

@@ -48,11 +48,14 @@
 mod cg;
 mod cholesky;
 mod common;
+mod dynamic;
 mod ep;
 mod fft;
 mod is;
 pub mod msg;
 pub mod sparse;
+
+pub use dynamic::register_app;
 
 pub use cg::Cg;
 pub use cholesky::Cholesky;
@@ -111,7 +114,9 @@ pub enum SizeClass {
     Full,
 }
 
-/// Identifier for the five applications (figure specs, CLI).
+/// Identifier for an application: the five built-in kernels (figure
+/// specs, CLI) plus dynamically registered workloads (see
+/// [`register_app`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppId {
     /// NAS EP.
@@ -124,10 +129,14 @@ pub enum AppId {
     Cg,
     /// SPLASH CHOLESKY.
     Cholesky,
+    /// A dynamically registered application (a compiled scenario); the
+    /// index is process-local — durable identity is the registered name
+    /// and canonical definition ([`AppId::fingerprint_detail`]).
+    Custom(u32),
 }
 
 impl AppId {
-    /// All five, in the paper's order of introduction.
+    /// The five built-ins, in the paper's order of introduction.
     pub const ALL: [AppId; 5] = [AppId::Ep, AppId::Is, AppId::Cg, AppId::Cholesky, AppId::Fft];
 
     /// Instantiates the application at `size`.
@@ -138,10 +147,12 @@ impl AppId {
             AppId::Is => Box::new(Is::new(size)),
             AppId::Cg => Box::new(Cg::new(size)),
             AppId::Cholesky => Box::new(Cholesky::new(size)),
+            AppId::Custom(i) => dynamic::instantiate(i, size),
         }
     }
 
-    /// Parses a name as printed by [`AppId::name`].
+    /// Parses a name as printed by [`AppId::name`] — a built-in first,
+    /// then the dynamic registry.
     pub fn from_name(name: &str) -> Option<AppId> {
         match name {
             "ep" => Some(AppId::Ep),
@@ -149,7 +160,7 @@ impl AppId {
             "is" => Some(AppId::Is),
             "cg" => Some(AppId::Cg),
             "cholesky" => Some(AppId::Cholesky),
-            _ => None,
+            _ => dynamic::lookup(name),
         }
     }
 
@@ -161,6 +172,20 @@ impl AppId {
             AppId::Is => "is",
             AppId::Cg => "cg",
             AppId::Cholesky => "cholesky",
+            AppId::Custom(i) => dynamic::name_of(i),
+        }
+    }
+
+    /// Content that pins this app's identity beyond its name: the
+    /// canonical definition text for a registered custom app, `None` for
+    /// the built-ins (their behaviour is fixed by the binary). Sweep
+    /// fingerprints absorb this, so journals written under one scenario
+    /// definition refuse to resume under another even if the file name
+    /// is reused.
+    pub fn fingerprint_detail(self) -> Option<&'static str> {
+        match self {
+            AppId::Custom(i) => Some(dynamic::canon_of(i)),
+            _ => None,
         }
     }
 }

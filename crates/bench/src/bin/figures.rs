@@ -26,6 +26,14 @@
 //! figures --merge DIR (--all | --figure ID) [...]
 //! ```
 //!
+//! `--scenario FILE` (repeatable) compiles a declarative `.scn`
+//! workload (see `spasm-scenario`) into a figure and sweeps it like
+//! any built-in id. `--telemetry FILE` turns on engine interval
+//! telemetry and streams one JSONL record per sim-time bucket (plus a
+//! per-point summary) into FILE; `--telemetry-interval-us N` sets the
+//! bucket width (default 100). Telemetry output is byte-identical
+//! across `--jobs` settings and across journaled resume.
+//!
 //! `--shard K/N` runs only shard K's points (of N, round-robin over the
 //! series-major point grid) and journals them under
 //! `DIR/<figure>.shard-K-of-N.journal` — a worker's only output is its
@@ -53,7 +61,7 @@ use spasm_core::journal::SweepJournal;
 use spasm_core::shard::{merge_shards, ShardError, ShardSpec};
 use spasm_core::sweep::{run_figure_journaled, run_figure_observed, run_figure_shard, SweepConfig};
 use spasm_exec::ExecEvent;
-use spasm_machine::{CheckMode, FaultPlan, RunBudget};
+use spasm_machine::{CheckMode, FaultPlan, RunBudget, TelemetryConfig};
 
 struct Args {
     figures: Vec<&'static FigureSpec>,
@@ -85,6 +93,10 @@ struct Args {
     /// Merge mode: reassemble per-shard journals from this directory
     /// into serial-identical stdout (`--merge DIR`).
     merge: Option<String>,
+    /// Stream per-interval telemetry JSONL into this file.
+    telemetry: Option<String>,
+    /// Telemetry bucket width in simulated microseconds.
+    telemetry_interval_us: u64,
 }
 
 /// Exit code when points failed but partial figures were salvaged.
@@ -105,7 +117,8 @@ fn usage() -> ! {
          [--jobs N|auto] [--serial] [--budget-events N] \
          [--check] [--strict-check] [--faults SEED] \
          [--journal PATH [--resume]] [--deadline-secs N] \
-         [--shard K/N --journal DIR] [--merge DIR]"
+         [--shard K/N --journal DIR] [--merge DIR] \
+         [--scenario FILE] [--telemetry FILE [--telemetry-interval-us N]]"
     );
     std::process::exit(2)
 }
@@ -128,6 +141,8 @@ fn parse_args() -> Args {
         deadline: None,
         shard: None,
         merge: None,
+        telemetry: None,
+        telemetry_interval_us: 100,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -207,6 +222,32 @@ fn parse_args() -> Args {
                 }
             }
             "--merge" => args.merge = Some(it.next().unwrap_or_else(|| usage())),
+            "--scenario" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read scenario {path}: {e}");
+                    std::process::exit(2);
+                });
+                let sc = spasm_scenario::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("scenario {path}: {e}");
+                    std::process::exit(2);
+                });
+                match spasm_scenario::compile(&sc) {
+                    Ok(spec) => args.figures.push(spec),
+                    Err(e) => {
+                        eprintln!("scenario {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--telemetry" => args.telemetry = Some(it.next().unwrap_or_else(|| usage())),
+            "--telemetry-interval-us" => {
+                args.telemetry_interval_us = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&us| us > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--deadline-secs" => {
                 args.deadline = Some(Duration::from_secs(
                     it.next()
@@ -230,6 +271,10 @@ fn parse_args() -> Args {
     }
     if args.shard.is_some() && (args.csv.is_some() || args.chart) {
         eprintln!("--shard produces no stdout; --csv/--chart belong on the --merge invocation");
+        usage();
+    }
+    if args.telemetry.is_some() && args.ablation.is_some() {
+        eprintln!("--telemetry applies to figure sweeps, not ablations");
         usage();
     }
     if args.merge.is_some() && (args.shard.is_some() || args.journal.is_some()) {
@@ -398,6 +443,12 @@ fn open_journal(
 /// any instant costs at most one in-flight point.
 fn run_shard(args: &Args, sweep: &SweepConfig, shard: ShardSpec) -> ExitCode {
     let dir = args.journal.as_deref().expect("checked in parse_args");
+    if let Some(path) = &args.telemetry {
+        eprintln!(
+            "shard {shard}: interval records ride in the shard journals; \
+             {path} will be written by the --merge invocation"
+        );
+    }
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("cannot create journal directory {dir}: {e}");
         return ExitCode::from(EXIT_IO);
@@ -459,6 +510,7 @@ fn run_shard(args: &Args, sweep: &SweepConfig, shard: ShardSpec) -> ExitCode {
 /// and salvaging partial figures from what can.
 fn run_merge(args: &Args, sweep: &SweepConfig, dir: &str) -> ExitCode {
     let mut csv = String::from("figure,app,net,metric,procs,machine,value,reason\n");
+    let mut jsonl = String::new();
     let mut worst = 0u8;
     let mut failed_points = 0usize;
     for spec in &args.figures {
@@ -524,9 +576,19 @@ fn run_merge(args: &Args, sweep: &SweepConfig, dir: &str) -> ExitCode {
             csv.push_str(line);
             csv.push('\n');
         }
+        jsonl.push_str(&data.to_telemetry_jsonl());
     }
     if let Some(path) = &args.csv {
         match std::fs::File::create(path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                worst = worst.max(EXIT_IO);
+            }
+        }
+    }
+    if let Some(path) = &args.telemetry {
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(jsonl.as_bytes())) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
@@ -555,6 +617,10 @@ fn main() -> ExitCode {
         check: args.check,
         faults: args.faults.map(FaultPlan::adversarial),
         deadline: args.deadline,
+        telemetry: args
+            .telemetry
+            .as_ref()
+            .map(|_| TelemetryConfig::every_us(args.telemetry_interval_us)),
         ..SweepConfig::default()
     };
     if let Some(dir) = &args.merge {
@@ -567,6 +633,7 @@ fn main() -> ExitCode {
     let mut total_busy = Duration::ZERO;
     let mut total_points = 0usize;
     let mut csv = String::from("figure,app,net,metric,procs,machine,value,reason\n");
+    let mut jsonl = String::new();
     let mut failed_points = 0;
     for spec in &args.figures {
         let started = Instant::now();
@@ -677,6 +744,7 @@ fn main() -> ExitCode {
             csv.push_str(line);
             csv.push('\n');
         }
+        jsonl.push_str(&data.to_telemetry_jsonl());
     }
     let total_wall = total_started.elapsed();
     eprintln!(
@@ -690,6 +758,15 @@ fn main() -> ExitCode {
     );
     if let Some(path) = args.csv {
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(EXIT_IO);
+            }
+        }
+    }
+    if let Some(path) = args.telemetry {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(jsonl.as_bytes())) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");

@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use spasm_apps::{AppId, SizeClass};
 use spasm_logp::GapPolicy;
-use spasm_machine::{Engine, MachineConfig, MachineKind, ProcBody, RunError, SetupCtx};
+use spasm_machine::{
+    Engine, IntervalRecord, MachineConfig, MachineKind, ProcBody, RunError, SetupCtx,
+};
 use spasm_topology::{Topology, TopologyKind};
 
 /// Network selection for an experiment (mirrors `TopologyKind`, with the
@@ -35,12 +37,23 @@ impl Net {
     }
 
     /// Parses "full" / "cube" / "mesh".
-    pub fn from_name(name: &str) -> Option<Net> {
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Config`] naming the unknown network and the
+    /// valid names.
+    pub fn from_name(name: &str) -> Result<Net, ExperimentError> {
         match name {
-            "full" => Some(Net::Full),
-            "cube" => Some(Net::Cube),
-            "mesh" => Some(Net::Mesh),
-            _ => None,
+            "full" => Ok(Net::Full),
+            "cube" => Ok(Net::Cube),
+            "mesh" => Ok(Net::Mesh),
+            _ => {
+                let valid: Vec<String> = Net::ALL.iter().map(Net::to_string).collect();
+                Err(ExperimentError::Config(format!(
+                    "unknown network \"{name}\" (valid: {})",
+                    valid.join(", ")
+                )))
+            }
         }
     }
 }
@@ -103,14 +116,25 @@ impl Machine {
     }
 
     /// Parses the display name.
-    pub fn from_name(name: &str) -> Option<Machine> {
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::Config`] naming the unknown machine and the
+    /// valid names.
+    pub fn from_name(name: &str) -> Result<Machine, ExperimentError> {
         match name {
-            "pram" => Some(Machine::Pram),
-            "target" => Some(Machine::Target),
-            "logp" => Some(Machine::LogP),
-            "clogp" => Some(Machine::CLogP),
-            "clogp-pet" => Some(Machine::CLogPPerEventGap),
-            _ => None,
+            "pram" => Ok(Machine::Pram),
+            "target" => Ok(Machine::Target),
+            "logp" => Ok(Machine::LogP),
+            "clogp" => Ok(Machine::CLogP),
+            "clogp-pet" => Ok(Machine::CLogPPerEventGap),
+            _ => {
+                let valid: Vec<String> = Machine::ALL.iter().map(Machine::to_string).collect();
+                Err(ExperimentError::Config(format!(
+                    "unknown machine \"{name}\" (valid: {})",
+                    valid.join(", ")
+                )))
+            }
         }
     }
 }
@@ -297,6 +321,19 @@ impl Experiment {
     /// and surface as [`ExperimentError::Aborted`] — they never escape
     /// to poison a sweep.
     pub fn run_with_config(&self, config: MachineConfig) -> Result<RunMetrics, ExperimentError> {
+        self.run_with_config_full(config).map(|(m, _)| m)
+    }
+
+    /// As [`Experiment::run_with_config`], additionally returning the
+    /// run's interval telemetry (empty unless `config.telemetry` is set).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run_with_config`].
+    pub fn run_with_config_full(
+        &self,
+        config: MachineConfig,
+    ) -> Result<(RunMetrics, Vec<IntervalRecord>), ExperimentError> {
         let topo = Topology::try_of_kind(self.net.kind(), self.procs)
             .map_err(|e| ExperimentError::Config(e.to_string()))?;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -307,7 +344,7 @@ impl Experiment {
                 Engine::with_config(self.machine.kind(), &topo, config, setup, built.bodies);
             let report = engine.run().map_err(ExperimentError::Run)?;
             (built.verify)(&report.final_store).map_err(ExperimentError::Verify)?;
-            Ok(metrics_of(&report))
+            Ok((metrics_of(&report), report.telemetry))
         }));
         outcome.unwrap_or_else(|payload| Err(ExperimentError::Aborted(panic_message(&*payload))))
     }
@@ -369,7 +406,7 @@ mod tests {
     #[test]
     fn name_roundtrips() {
         for net in Net::ALL {
-            assert_eq!(Net::from_name(&net.to_string()), Some(net));
+            assert_eq!(Net::from_name(&net.to_string()).unwrap(), net);
         }
         for m in [
             Machine::Pram,
@@ -378,10 +415,30 @@ mod tests {
             Machine::CLogP,
             Machine::CLogPPerEventGap,
         ] {
-            assert_eq!(Machine::from_name(&m.to_string()), Some(m));
+            assert_eq!(Machine::from_name(&m.to_string()).unwrap(), m);
         }
-        assert_eq!(Net::from_name("ring"), None);
-        assert_eq!(Machine::from_name("bsp"), None);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_config_errors_listing_valid_names() {
+        match Net::from_name("ring") {
+            Err(ExperimentError::Config(msg)) => {
+                assert!(msg.contains("\"ring\""), "{msg}");
+                for net in Net::ALL {
+                    assert!(msg.contains(&net.to_string()), "{msg} missing {net}");
+                }
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        match Machine::from_name("bsp") {
+            Err(ExperimentError::Config(msg)) => {
+                assert!(msg.contains("\"bsp\""), "{msg}");
+                for m in Machine::ALL {
+                    assert!(msg.contains(&m.to_string()), "{msg} missing {m}");
+                }
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

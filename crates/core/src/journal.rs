@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use spasm_apps::SizeClass;
 use spasm_journal::{Fingerprint, Journal, JournalError};
+use spasm_machine::IntervalRecord;
 
 use crate::figures::FigureSpec;
 use crate::sweep::{Outcome, SweepConfig};
@@ -96,7 +97,10 @@ pub fn sweep_fingerprint(
     sweep: &SweepConfig,
 ) -> u64 {
     let mut fp = Fingerprint::new();
-    fp.absorb_str("spasm-sweep-v1");
+    // v2: records carry interval telemetry and the fingerprint absorbs
+    // the telemetry knob plus dynamic-app definitions; v1 journals are
+    // refused typed rather than mis-decoded.
+    fp.absorb_str("spasm-sweep-v2");
     // The shard contract rides in the fingerprint: per-shard journals
     // and a serial journal of the same sweep interoperate, while shards
     // cut under a different point→shard mapping are refused by
@@ -104,6 +108,12 @@ pub fn sweep_fingerprint(
     fp.absorb_str(crate::shard::CONTRACT);
     fp.absorb_str(spec.id);
     fp.absorb_str(&spec.app.to_string());
+    // A dynamically registered app (a compiled scenario) is identified
+    // by its canonical definition text, not just its name: journals
+    // written under one scenario file refuse to resume under an edited
+    // one even when the name is reused. Built-ins contribute a fixed
+    // empty detail.
+    fp.absorb_str(spec.app.fingerprint_detail().unwrap_or(""));
     fp.absorb_str(&spec.net.to_string());
     fp.absorb_str(&format!("{:?}", spec.metric));
     fp.absorb_u64(spec.machines.len() as u64);
@@ -122,6 +132,7 @@ pub fn sweep_fingerprint(
     fp.absorb_u64(u64::from(sweep.max_attempts));
     fp.absorb_str(&format!("{:?}", sweep.check));
     fp.absorb_str(&format!("{:?}", sweep.total_events));
+    fp.absorb_str(&format!("{:?}", sweep.telemetry));
     fp.finish()
 }
 
@@ -129,7 +140,7 @@ pub fn sweep_fingerprint(
 /// `shard::merge_shards` reassembles figures from).
 #[derive(Debug)]
 pub(crate) enum ReplayPoint {
-    Ok(RunMetrics),
+    Ok(RunMetrics, Vec<IntervalRecord>),
     Failed { reason: String, attempts: u32 },
 }
 
@@ -238,15 +249,16 @@ impl SweepJournal {
         &self,
         machine: Machine,
         procs: usize,
-    ) -> Option<(Outcome, Option<RunMetrics>)> {
+    ) -> Option<(Outcome, Option<RunMetrics>, Vec<IntervalRecord>)> {
         match self.replay.get(&(machine, procs))? {
-            ReplayPoint::Ok(m) => Some((Outcome::Ok, Some(*m))),
+            ReplayPoint::Ok(m, telemetry) => Some((Outcome::Ok, Some(*m), telemetry.clone())),
             ReplayPoint::Failed { reason, attempts } => Some((
                 Outcome::Failed {
                     error: ExperimentError::Replayed(reason.clone()),
                     attempts: *attempts,
                 },
                 None,
+                Vec::new(),
             )),
         }
     }
@@ -261,8 +273,9 @@ impl SweepJournal {
         procs: usize,
         outcome: &Outcome,
         metrics: Option<&RunMetrics>,
+        telemetry: &[IntervalRecord],
     ) {
-        let payload = encode_point(machine, procs, outcome, metrics);
+        let payload = encode_point(machine, procs, outcome, metrics, telemetry);
         let mut inner = self
             .inner
             .lock()
@@ -342,8 +355,9 @@ fn encode_point(
     procs: usize,
     outcome: &Outcome,
     metrics: Option<&RunMetrics>,
+    telemetry: &[IntervalRecord],
 ) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(160);
+    let mut buf = Vec::with_capacity(160 + telemetry.len() * 96);
     push_str(&mut buf, &machine.to_string());
     push_u64(&mut buf, procs as u64);
     match outcome {
@@ -363,6 +377,23 @@ fn encode_point(
             push_u64(&mut buf, m.cache_misses);
             push_u64(&mut buf, m.faults_injected);
             push_u64(&mut buf, m.wall.as_nanos() as u64);
+            // The point's interval telemetry rides in the same record,
+            // so a replayed point reproduces its JSONL byte-for-byte.
+            push_u64(&mut buf, telemetry.len() as u64);
+            for r in telemetry {
+                push_u64(&mut buf, r.index);
+                push_u64(&mut buf, r.t0_ns);
+                push_u64(&mut buf, r.t1_ns);
+                push_u64(&mut buf, r.events);
+                push_u64(&mut buf, r.queue_depth);
+                push_u64(&mut buf, r.busy_ns);
+                push_u64(&mut buf, r.mem_ns);
+                push_u64(&mut buf, r.comm_ns);
+                push_u64(&mut buf, r.sync_ns);
+                push_u64(&mut buf, r.cache_hits);
+                push_u64(&mut buf, r.cache_misses);
+                push_u64(&mut buf, r.faults);
+            }
         }
         Outcome::Failed { error, attempts } => {
             push_u64(&mut buf, TAG_FAILED);
@@ -379,8 +410,7 @@ pub(crate) fn decode_point(record: &[u8]) -> Result<(Machine, usize, ReplayPoint
         pos: 0,
     };
     let name = c.str()?;
-    let machine =
-        Machine::from_name(&name).ok_or_else(|| format!("unknown machine name {name:?}"))?;
+    let machine = Machine::from_name(&name).map_err(|e| e.to_string())?;
     let procs = usize::try_from(c.u64()?).map_err(|_| "procs overflows usize".to_string())?;
     let point = match c.u64()? {
         TAG_OK => {
@@ -399,7 +429,31 @@ pub(crate) fn decode_point(record: &[u8]) -> Result<(Machine, usize, ReplayPoint
                 faults_injected: c.u64()?,
                 wall: Duration::from_nanos(c.u64()?),
             };
-            ReplayPoint::Ok(metrics)
+            let count = usize::try_from(c.u64()?)
+                .map_err(|_| "interval count overflows usize".to_string())?;
+            // 12 u64 fields per interval; bound the claim against the
+            // remaining bytes before allocating.
+            if count > record.len() / 96 {
+                return Err(format!("{count} intervals cannot fit the record"));
+            }
+            let mut telemetry = Vec::with_capacity(count);
+            for _ in 0..count {
+                telemetry.push(IntervalRecord {
+                    index: c.u64()?,
+                    t0_ns: c.u64()?,
+                    t1_ns: c.u64()?,
+                    events: c.u64()?,
+                    queue_depth: c.u64()?,
+                    busy_ns: c.u64()?,
+                    mem_ns: c.u64()?,
+                    comm_ns: c.u64()?,
+                    sync_ns: c.u64()?,
+                    cache_hits: c.u64()?,
+                    cache_misses: c.u64()?,
+                    faults: c.u64()?,
+                });
+            }
+            ReplayPoint::Ok(metrics, telemetry)
         }
         TAG_FAILED => {
             let attempts = u32::try_from(c.u64()?).map_err(|_| "attempts overflow".to_string())?;
@@ -443,18 +497,53 @@ mod tests {
         }
     }
 
+    fn sample_telemetry() -> Vec<IntervalRecord> {
+        vec![
+            IntervalRecord {
+                index: 0,
+                t0_ns: 0,
+                t1_ns: 100_000,
+                events: 12,
+                queue_depth: 3,
+                busy_ns: 9_000,
+                mem_ns: 600,
+                comm_ns: 1_200,
+                sync_ns: 0,
+                cache_hits: 5,
+                cache_misses: 2,
+                faults: 0,
+            },
+            IntervalRecord {
+                index: 3,
+                t0_ns: 300_000,
+                t1_ns: 400_000,
+                events: 1,
+                queue_depth: 0,
+                busy_ns: 30,
+                mem_ns: 0,
+                comm_ns: 0,
+                sync_ns: 90,
+                cache_hits: 0,
+                cache_misses: 1,
+                faults: 1,
+            },
+        ]
+    }
+
     #[test]
     fn point_codec_roundtrips_both_outcomes() {
         let m = sample_metrics();
-        let ok = encode_point(Machine::CLogP, 8, &Outcome::Ok, Some(&m));
+        let telemetry = sample_telemetry();
+        let ok = encode_point(Machine::CLogP, 8, &Outcome::Ok, Some(&m), &telemetry);
         let (machine, procs, point) = decode_point(&ok).unwrap();
         assert_eq!(machine, Machine::CLogP);
         assert_eq!(procs, 8);
         match point {
-            ReplayPoint::Ok(got) => {
+            ReplayPoint::Ok(got, got_telemetry) => {
                 assert_eq!(got.exec_us.to_bits(), m.exec_us.to_bits());
                 assert_eq!(got.messages, m.messages);
                 assert_eq!(got.wall, m.wall);
+                assert_eq!(got_telemetry, telemetry);
             }
             ReplayPoint::Failed { .. } => panic!("expected Ok"),
         }
@@ -463,7 +552,7 @@ mod tests {
             error: ExperimentError::Config("3 is not a power of two".into()),
             attempts: 2,
         };
-        let enc = encode_point(Machine::Pram, 3, &failed, None);
+        let enc = encode_point(Machine::Pram, 3, &failed, None, &[]);
         let (machine, procs, point) = decode_point(&enc).unwrap();
         assert_eq!((machine, procs), (Machine::Pram, 3));
         match point {
@@ -471,7 +560,7 @@ mod tests {
                 assert_eq!(reason, "invalid configuration: 3 is not a power of two");
                 assert_eq!(attempts, 2);
             }
-            ReplayPoint::Ok(_) => panic!("expected Failed"),
+            ReplayPoint::Ok(..) => panic!("expected Failed"),
         }
     }
 
@@ -479,9 +568,30 @@ mod tests {
     fn decode_rejects_malformed_payloads() {
         assert!(decode_point(&[]).is_err());
         // A valid record with trailing garbage must not decode.
-        let mut enc = encode_point(Machine::Pram, 2, &Outcome::Ok, Some(&sample_metrics()));
+        let mut enc = encode_point(
+            Machine::Pram,
+            2,
+            &Outcome::Ok,
+            Some(&sample_metrics()),
+            &sample_telemetry(),
+        );
         enc.push(0);
         assert!(decode_point(&enc).unwrap_err().contains("trailing"));
+        // A truncated telemetry section must not decode either.
+        let whole = encode_point(
+            Machine::Pram,
+            2,
+            &Outcome::Ok,
+            Some(&sample_metrics()),
+            &sample_telemetry(),
+        );
+        assert!(decode_point(&whole[..whole.len() - 4]).is_err());
+        // An absurd interval count is rejected before allocating.
+        let mut counted =
+            encode_point(Machine::Pram, 2, &Outcome::Ok, Some(&sample_metrics()), &[]);
+        let tail = counted.len() - 8;
+        counted[tail..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_point(&counted).unwrap_err().contains("intervals"));
         // An unknown machine name is named in the error.
         let mut bad = Vec::new();
         push_str(&mut bad, "bsp");
@@ -537,6 +647,15 @@ mod tests {
             base,
             sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &budgeted)
         );
+        // Telemetry changes what every record carries, so it separates.
+        let instrumented = SweepConfig {
+            telemetry: Some(spasm_machine::TelemetryConfig::every_us(100)),
+            ..SweepConfig::default()
+        };
+        assert_ne!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &instrumented)
+        );
         // Scheduling knobs do NOT separate: resume may change them.
         let rescheduled = SweepConfig {
             jobs: 7,
@@ -559,7 +678,13 @@ mod tests {
         let sweep = SweepConfig::default();
         let path = scratch("create-resume");
         let j = SweepJournal::create(&path, spec, SizeClass::Test, &[2], 5, &sweep).unwrap();
-        j.record(Machine::Pram, 2, &Outcome::Ok, Some(&sample_metrics()));
+        j.record(
+            Machine::Pram,
+            2,
+            &Outcome::Ok,
+            Some(&sample_metrics()),
+            &sample_telemetry(),
+        );
         j.record(
             Machine::Target,
             2,
@@ -568,6 +693,7 @@ mod tests {
                 attempts: 1,
             },
             None,
+            &[],
         );
         assert!(j.io_error().is_none());
         drop(j);
@@ -582,11 +708,13 @@ mod tests {
         let r = SweepJournal::resume(&path, spec, SizeClass::Test, &[2], 5, &sweep).unwrap();
         assert_eq!(r.replayed(), 2);
         assert_eq!(r.repaired_bytes(), 0);
-        let (outcome, metrics) = r.lookup(Machine::Pram, 2).unwrap();
+        let (outcome, metrics, telemetry) = r.lookup(Machine::Pram, 2).unwrap();
         assert!(outcome.is_ok());
         assert_eq!(metrics.unwrap().events, 9001);
-        let (outcome, metrics) = r.lookup(Machine::Target, 2).unwrap();
+        assert_eq!(telemetry, sample_telemetry());
+        let (outcome, metrics, telemetry) = r.lookup(Machine::Target, 2).unwrap();
         assert!(metrics.is_none());
+        assert!(telemetry.is_empty());
         match outcome {
             Outcome::Failed { error, attempts } => {
                 assert_eq!(error.to_string(), "verification failed: wrong sum");

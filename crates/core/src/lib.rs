@@ -42,3 +42,4 @@ pub mod shard;
 pub mod sweep;
 
 pub use experiment::{run_bodies, Experiment, ExperimentError, Machine, Net, RunMetrics};
+pub use spasm_machine::{IntervalRecord, TelemetryConfig};

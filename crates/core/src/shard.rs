@@ -45,14 +45,15 @@ use crate::{ExperimentError, Machine, RunMetrics};
 /// Whether two records of the same point agree on everything the
 /// simulation determines. `RunMetrics::wall` is host wall-clock — two
 /// honest runs of the same point measure different nanos — so it is
-/// excluded; every other field is seeded-deterministic.
+/// excluded; every other field, interval telemetry included, is
+/// seeded-deterministic.
 fn same_result(a: &ReplayPoint, b: &ReplayPoint) -> bool {
     let strip = |m: &RunMetrics| RunMetrics {
         wall: std::time::Duration::ZERO,
         ..*m
     };
     match (a, b) {
-        (ReplayPoint::Ok(x), ReplayPoint::Ok(y)) => strip(x) == strip(y),
+        (ReplayPoint::Ok(x, tx), ReplayPoint::Ok(y, ty)) => strip(x) == strip(y) && tx == ty,
         (
             ReplayPoint::Failed {
                 reason: ra,
@@ -384,15 +385,17 @@ pub fn merge_shards(
         let mut values = Vec::with_capacity(procs.len());
         let mut metrics = Vec::with_capacity(procs.len());
         let mut outcomes = Vec::with_capacity(procs.len());
+        let mut telemetry = Vec::with_capacity(procs.len());
         for (pi, &p) in procs.iter().enumerate() {
-            let (outcome, m) = match merged.get(&(machine, p)) {
-                Some((ReplayPoint::Ok(m), _)) => (Outcome::Ok, Some(*m)),
+            let (outcome, m, intervals) = match merged.get(&(machine, p)) {
+                Some((ReplayPoint::Ok(m, t), _)) => (Outcome::Ok, Some(*m), t.clone()),
                 Some((ReplayPoint::Failed { reason, attempts }, _)) => (
                     Outcome::Failed {
                         error: ExperimentError::Replayed(reason.clone()),
                         attempts: *attempts,
                     },
                     None,
+                    Vec::new(),
                 ),
                 None => {
                     missing_points += 1;
@@ -411,18 +414,21 @@ pub fn merge_shards(
                             attempts: 0,
                         },
                         None,
+                        Vec::new(),
                     )
                 }
             };
             values.push(m.as_ref().map_or(f64::NAN, |m| extract(spec.metric, m)));
             metrics.push(m);
             outcomes.push(outcome);
+            telemetry.push(intervals);
         }
         series.push(Series {
             machine,
             values,
             metrics,
             outcomes,
+            telemetry,
         });
     }
     Ok(MergeReport {

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 use spasm_apps::SizeClass;
 use spasm_exec::{execute, Backoff, CostBudget, ExecConfig, ExecEvent, JobOutput};
-use spasm_machine::{CheckMode, FaultPlan, RunBudget};
+use spasm_machine::{CheckMode, FaultPlan, IntervalRecord, RunBudget, TelemetryConfig};
 
 use crate::figures::{FigureSpec, Metric};
 use crate::journal::SweepJournal;
@@ -47,6 +47,10 @@ pub struct Series {
     pub metrics: Vec<Option<RunMetrics>>,
     /// Per-point outcome, aligned with `values`.
     pub outcomes: Vec<Outcome>,
+    /// Per-point interval telemetry, aligned with `values` (empty vectors
+    /// unless [`SweepConfig::telemetry`] was set; always empty for failed
+    /// points).
+    pub telemetry: Vec<Vec<IntervalRecord>>,
 }
 
 /// What happened at one sweep point.
@@ -116,6 +120,11 @@ pub struct SweepConfig {
     /// (deterministic capped exponential, jittered per point seed).
     /// [`Backoff::NONE`] (the default) retries immediately.
     pub backoff: Backoff,
+    /// Streaming interval telemetry applied to every run. `None` (the
+    /// default) collects nothing. Telemetry is outcome-affecting for
+    /// journaling purposes — the records ride in the journal — so it
+    /// enters the sweep fingerprint, unlike the scheduling knobs.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SweepConfig {
@@ -129,6 +138,7 @@ impl Default for SweepConfig {
             check: CheckMode::Off,
             deadline: None,
             backoff: Backoff::NONE,
+            telemetry: None,
         }
     }
 }
@@ -275,7 +285,7 @@ pub fn run_figure_shard(
         }
         owned += 1;
         match journal.lookup(machine, exp.procs) {
-            Some((outcome, _)) => {
+            Some((outcome, _, _)) => {
                 replayed += 1;
                 if !outcome.is_ok() {
                     failed += 1;
@@ -293,7 +303,7 @@ pub fn run_figure_shard(
     );
     for slot in &report.results {
         match slot {
-            Ok((outcome, _)) if outcome.is_ok() => {}
+            Ok((outcome, _, _)) if outcome.is_ok() => {}
             // A failed point or a job-level casualty (cancelled,
             // deadlined, panicked) — the latter never reached the
             // journal and will re-run on the next resume.
@@ -361,14 +371,14 @@ fn journaled_point(
     sweep: SweepConfig,
     machine: Machine,
     exp: &Experiment,
-) -> JobOutput<(Outcome, Option<RunMetrics>)> {
-    let (outcome, m) = run_point(exp, machine, sweep);
+) -> JobOutput<(Outcome, Option<RunMetrics>, Vec<IntervalRecord>)> {
+    let (outcome, m, telemetry) = run_point(exp, machine, sweep);
     if let Some(j) = journal {
-        j.record(machine, exp.procs, &outcome, m.as_ref());
+        j.record(machine, exp.procs, &outcome, m.as_ref(), &telemetry);
     }
     let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
     JobOutput {
-        value: (outcome, m),
+        value: (outcome, m, telemetry),
         cost,
         faults,
     }
@@ -405,8 +415,9 @@ fn run_figure_inner(
         let mut values = Vec::with_capacity(procs.len());
         let mut metrics = Vec::with_capacity(procs.len());
         let mut outcomes = Vec::with_capacity(procs.len());
+        let mut telemetry = Vec::with_capacity(procs.len());
         for &p in procs {
-            let (outcome, m) = match journal.and_then(|j| j.lookup(machine, p)) {
+            let (outcome, m, intervals) = match journal.and_then(|j| j.lookup(machine, p)) {
                 // Replayed from the journal: this point never entered
                 // the executor, so it consumes no result slot.
                 Some(replayed) => replayed,
@@ -426,18 +437,21 @@ fn run_figure_inner(
                             attempts: 0,
                         },
                         None,
+                        Vec::new(),
                     ),
                 },
             };
             values.push(m.as_ref().map_or(f64::NAN, |m| extract(spec.metric, m)));
             metrics.push(m);
             outcomes.push(outcome);
+            telemetry.push(intervals);
         }
         series.push(Series {
             machine,
             values,
             metrics,
             outcomes,
+            telemetry,
         });
     }
     FigureData {
@@ -457,7 +471,7 @@ fn run_point(
     exp: &Experiment,
     machine: Machine,
     sweep: SweepConfig,
-) -> (Outcome, Option<RunMetrics>) {
+) -> (Outcome, Option<RunMetrics>, Vec<IntervalRecord>) {
     let max_attempts = sweep.max_attempts.max(1);
     let mut attempts = 0;
     loop {
@@ -465,12 +479,13 @@ fn run_point(
         let mut config = machine.config();
         config.budget = sweep.budget;
         config.check = sweep.check;
+        config.telemetry = sweep.telemetry;
         config.faults = sweep.faults.map(|f| FaultPlan {
             seed: retry_seed(f.seed, attempts),
             ..f
         });
-        match exp.run_with_config(config) {
-            Ok(m) => return (Outcome::Ok, Some(m)),
+        match exp.run_with_config_full(config) {
+            Ok((m, telemetry)) => return (Outcome::Ok, Some(m), telemetry),
             Err(e) if e.is_retryable() && sweep.faults.is_some() && attempts < max_attempts => {
                 // Deterministic in (config, point seed, attempt): the
                 // pause schedule never perturbs results, only pacing.
@@ -480,9 +495,27 @@ fn run_point(
                 }
                 continue;
             }
-            Err(e) => return (Outcome::Failed { error: e, attempts }, None),
+            Err(e) => return (Outcome::Failed { error: e, attempts }, None, Vec::new()),
         }
     }
+}
+
+/// Renders a JSON string literal (quotes, backslashes, and control
+/// characters escaped — the only classes our identifier-like names could
+/// ever smuggle in).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Flattens an error rendering into one CSV cell: commas and newlines
@@ -569,6 +602,63 @@ impl FigureData {
                     s.machine,
                     cell,
                     reason
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the figure's interval telemetry as JSONL (schema `"v":1`):
+    /// per point, in series-major order, one `"kind":"interval"` line per
+    /// non-empty sim-time bucket followed by one `"kind":"summary"` line.
+    /// Every field is simulation-deterministic and fields render in a
+    /// fixed order, so the output is byte-identical across `--jobs`
+    /// settings, journaled resume, and shard merges of the same sweep.
+    ///
+    /// Empty unless the sweep ran with [`SweepConfig::telemetry`] set
+    /// (failed points still contribute their summary line).
+    pub fn to_telemetry_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            for (i, &p) in self.procs.iter().enumerate() {
+                let point = format!(
+                    "\"figure\":{},\"app\":{},\"net\":{},\"machine\":{},\"procs\":{p}",
+                    json_str(self.spec.id),
+                    json_str(&self.spec.app.to_string()),
+                    json_str(&self.spec.net.to_string()),
+                    json_str(&s.machine.to_string()),
+                );
+                let intervals = &s.telemetry[i];
+                if intervals.is_empty() && s.outcomes[i].is_ok() {
+                    // Telemetry was off for this sweep: no lines at all.
+                    continue;
+                }
+                for r in intervals {
+                    out.push_str(&format!(
+                        "{{\"v\":1,\"kind\":\"interval\",{point},\"i\":{},\"t0_ns\":{},\"t1_ns\":{},\"events\":{},\"queue\":{},\"busy_ns\":{},\"mem_ns\":{},\"comm_ns\":{},\"sync_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"faults\":{}}}\n",
+                        r.index,
+                        r.t0_ns,
+                        r.t1_ns,
+                        r.events,
+                        r.queue_depth,
+                        r.busy_ns,
+                        r.mem_ns,
+                        r.comm_ns,
+                        r.sync_ns,
+                        r.cache_hits,
+                        r.cache_misses,
+                        r.faults,
+                    ));
+                }
+                let events: u64 = intervals.iter().map(|r| r.events).sum();
+                let peak_queue = intervals.iter().map(|r| r.queue_depth).max().unwrap_or(0);
+                let (exec_us, outcome) = match (&s.outcomes[i], &s.metrics[i]) {
+                    (Outcome::Ok, Some(m)) => (m.exec_us.to_string(), "ok"),
+                    _ => ("null".to_string(), "failed"),
+                };
+                out.push_str(&format!(
+                    "{{\"v\":1,\"kind\":\"summary\",{point},\"intervals\":{},\"events\":{events},\"exec_us\":{exec_us},\"peak_queue\":{peak_queue},\"outcome\":\"{outcome}\"}}\n",
+                    intervals.len(),
                 ));
             }
         }

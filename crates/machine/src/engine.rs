@@ -14,6 +14,7 @@ use crate::fxhash::FxHashMap;
 use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
 use crate::ops::{MemReq, MemResp, Pred, RmwOp};
 use crate::stats::{Buckets, ProcStats};
+use crate::telemetry::{Collector, IntervalRecord, Snapshot};
 use crate::{Addr, AddressMap, SetupCtx, ValueStore, CYCLE_NS};
 
 /// One simulated processor's program.
@@ -145,6 +146,10 @@ pub struct RunReport {
     /// Faults actually injected during the run (all zero when no
     /// [`crate::FaultPlan`] was configured).
     pub faults: FaultCounters,
+    /// Interval telemetry records, one per non-empty sim-time bucket in
+    /// order (empty unless the run's [`MachineConfig`] enabled a
+    /// [`crate::TelemetryConfig`]).
+    pub telemetry: Vec<IntervalRecord>,
     /// Host wall-clock time the simulation took (§7 "Speed of Simulation").
     pub wall: Duration,
 }
@@ -264,6 +269,7 @@ pub struct Engine {
     budget: RunBudget,
     injector: Option<FaultInjector>,
     checker: Option<EngineChecker>,
+    telemetry: Option<Collector>,
     processed: u64,
 }
 
@@ -334,7 +340,34 @@ impl Engine {
                 .check
                 .enabled()
                 .then(|| EngineChecker::new(config.check)),
+            telemetry: config.telemetry.map(Collector::new),
             processed: 0,
+        }
+    }
+
+    /// Samples the monotone counters the telemetry deltas derive from.
+    /// Only called at bucket boundaries, so the O(procs) sweep is off the
+    /// per-event path.
+    fn telemetry_snapshot(&self) -> Snapshot {
+        let mut busy = SimTime::ZERO;
+        let mut mem = SimTime::ZERO;
+        let mut comm = SimTime::ZERO;
+        let mut sync = SimTime::ZERO;
+        for s in &self.stats {
+            busy += s.buckets.busy;
+            mem += s.buckets.mem;
+            comm += s.buckets.latency + s.buckets.contention + s.buckets.dir_wait;
+            sync += s.buckets.sync;
+        }
+        let summary = self.model.summary(self.stats.len());
+        Snapshot {
+            busy_ns: busy.as_ns(),
+            mem_ns: mem.as_ns(),
+            comm_ns: comm.as_ns(),
+            sync_ns: sync.as_ns(),
+            cache_hits: summary.cache_hits,
+            cache_misses: summary.cache_misses,
+            faults: self.injector.as_ref().map_or(0, |i| i.counters.total()),
         }
     }
 
@@ -377,6 +410,14 @@ impl Engine {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.processed += 1;
+            if let Some(mut tele) = self.telemetry.take() {
+                if tele.boundary_crossed(t) {
+                    let snapshot = self.telemetry_snapshot();
+                    tele.advance(t, self.events.len() as u64, snapshot);
+                }
+                tele.count_event();
+                self.telemetry = Some(tele);
+            }
             if self
                 .budget
                 .max_events
@@ -476,6 +517,15 @@ impl Engine {
                 return Err(v.into());
             }
         }
+        let telemetry = match self.telemetry.take() {
+            Some(mut tele) => {
+                // Close the final partial bucket; the queue is drained.
+                let snapshot = self.telemetry_snapshot();
+                tele.flush(0, snapshot);
+                tele.into_records()
+            }
+            None => Vec::new(),
+        };
         let mut totals = Buckets::default();
         let mut exec_time = SimTime::ZERO;
         for s in &self.stats {
@@ -499,6 +549,7 @@ impl Engine {
                 .as_ref()
                 .map(|i| i.counters)
                 .unwrap_or_default(),
+            telemetry,
             wall: wall_start.elapsed(),
         })
     }

@@ -72,6 +72,7 @@ mod setup;
 mod stats;
 mod store;
 pub mod sync;
+mod telemetry;
 
 pub use addr::{Addr, AddressMap, UnallocatedAddress, BLOCK_BYTES, WORD_BYTES};
 pub use engine::{Engine, ProcBody, RunError, RunReport};
@@ -82,6 +83,7 @@ pub use setup::SetupCtx;
 pub use spasm_check::{CheckMode, CheckViolation};
 pub use stats::{Buckets, ProcStats};
 pub use store::ValueStore;
+pub use telemetry::{IntervalRecord, TelemetryConfig};
 
 /// CPU cycle time: the paper fixes 33 MHz SPARC processors; we round the
 /// 30.3 ns cycle to 30 ns.

@@ -73,6 +73,12 @@ pub struct MachineConfig {
     /// default) constructs no checker state and adds no per-event cost;
     /// see [`CheckMode`] for the lenient/strict distinction.
     pub check: CheckMode,
+    /// Streaming interval telemetry. `None` (the default) collects
+    /// nothing and adds one `Option` test per event; `Some` buckets the
+    /// run into fixed sim-time intervals (see [`crate::TelemetryConfig`])
+    /// and the report carries one [`crate::IntervalRecord`] per non-empty
+    /// bucket.
+    pub telemetry: Option<crate::TelemetryConfig>,
 }
 
 impl Default for MachineConfig {
@@ -85,6 +91,7 @@ impl Default for MachineConfig {
             faults: None,
             budget: RunBudget::UNLIMITED,
             check: CheckMode::Off,
+            telemetry: None,
         }
     }
 }
@@ -104,6 +111,7 @@ impl MachineConfig {
         fp.absorb_str(&format!("{:?}", self.faults));
         fp.absorb_str(&format!("{:?}", self.budget));
         fp.absorb_str(&format!("{:?}", self.check));
+        fp.absorb_str(&format!("{:?}", self.telemetry));
     }
 }
 

@@ -2,8 +2,8 @@
 # Bench regression gate: re-run the wall-clock benches and compare
 # min-wall (min_ns) per row against the committed baselines at the repo
 # root (BENCH_sim_speed.json, BENCH_coherence_micro.json,
-# BENCH_exec_speed.json). Fails if any timing row regresses more than
-# the tolerance.
+# BENCH_exec_speed.json, BENCH_scenario_speed.json). Fails if any
+# timing row regresses more than the tolerance.
 #
 # Usage:
 #   scripts/bench_compare.sh            # full gate: default iters, 10%
@@ -24,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES=(sim_speed coherence_micro exec_speed)
+BENCHES=(sim_speed coherence_micro exec_speed scenario_speed)
 RUN=1
 SMOKE=0
 for arg in "$@"; do

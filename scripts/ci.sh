@@ -194,4 +194,28 @@ if ! grep -q "shard 1/3" <<< "$out"; then
     exit 1
 fi
 
+# Scenario tier: every bundled .scn workload sweeps clean on all four
+# machine models with the strict invariant checkers on, and its
+# telemetry stream passes scnlint (parseable JSONL, monotone
+# non-overlapping sim-time windows, conserved event counts). Then one
+# workload re-runs on 4 workers: the telemetry bytes must match the
+# serial run exactly.
+echo "==> scenario tier: bundled .scn workloads, strict-check + scnlint"
+sdir=$(mktemp -d)
+trap 'rm -rf "$jdir" "$fdir" "$sdir"' EXIT
+for scn in examples/scenarios/*.scn; do
+    name=$(basename "$scn" .scn)
+    timeout 60 ./target/release/figures --scenario "$scn" --size test \
+        --procs 2,4 --strict-check --serial --budget-events 50000000 \
+        --telemetry "$sdir/$name.jsonl" > /dev/null
+    ./target/release/scnlint "$sdir/$name.jsonl" > /dev/null
+done
+timeout 60 ./target/release/figures --scenario examples/scenarios/bsp.scn \
+    --size test --procs 2,4 --strict-check --jobs 4 \
+    --budget-events 50000000 --telemetry "$sdir/bsp-j4.jsonl" > /dev/null
+if ! cmp "$sdir/bsp.jsonl" "$sdir/bsp-j4.jsonl"; then
+    echo "ERROR: scenario telemetry differs between --serial and --jobs 4" >&2
+    exit 1
+fi
+
 echo "==> tier-1 green (total $((SECONDS))s)"

@@ -26,7 +26,9 @@
 //! * [`machine`] — the four machine characterizations and the
 //!   execution-driven engine;
 //! * [`apps`] — EP, FFT, IS, CG, CHOLESKY;
-//! * [`core`] — experiments, SPASM overhead separation, figure harness.
+//! * [`core`] — experiments, SPASM overhead separation, figure harness;
+//! * [`scenario`] — declarative `.scn` workloads compiled onto the
+//!   figure harness, with streaming interval telemetry.
 //!
 //! # Quickstart
 //!
@@ -63,4 +65,5 @@ pub use spasm_journal as journal;
 pub use spasm_logp as logp;
 pub use spasm_machine as machine;
 pub use spasm_net as net;
+pub use spasm_scenario as scenario;
 pub use spasm_topology as topology;

@@ -157,6 +157,36 @@ fn byte_flip_anywhere_resumes_byte_identical_or_fails_typed() {
 }
 
 #[test]
+fn journals_from_a_different_scenario_definition_are_refused() {
+    let parse = |name: &str, rounds: u64| {
+        let text =
+            format!("[scenario]\nname = {name}\nrounds = {rounds}\n[phase]\nkind = barrier\n");
+        spasm::scenario::parse(&text).expect("scenario parses")
+    };
+    let a = spasm::scenario::compile(&parse("recov-a", 1)).expect("compiles");
+    let b = spasm::scenario::compile(&parse("recov-b", 2)).expect("compiles");
+
+    // An edited definition under the *same* name never reaches the
+    // journal: the registry refuses the conflicting canonical text.
+    let err = spasm::scenario::compile(&parse("recov-a", 2)).unwrap_err();
+    assert!(err.contains("different definition"), "{err}");
+
+    // A journal written under scenario A refuses scenario B outright —
+    // the scenario's canonical text is part of the sweep fingerprint.
+    let path = scratch();
+    let sweep = SweepConfig::default();
+    drop(SweepJournal::create(&path, a, SizeClass::Test, &PROCS, SEED, &sweep).expect("create"));
+    match SweepJournal::resume(&path, b, SizeClass::Test, &PROCS, SEED, &sweep) {
+        Err(e) => assert!(e.is_fingerprint_mismatch(), "{e}"),
+        Ok(_) => panic!("a journal from a different scenario was accepted"),
+    }
+    // Sanity: the journal still resumes under its own definition.
+    SweepJournal::resume(&path, a, SizeClass::Test, &PROCS, SEED, &sweep)
+        .expect("same definition resumes");
+    fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
 fn resume_under_a_different_configuration_is_refused() {
     let path = scratch();
     fs::write(&path, &fixture().2).expect("write journal copy");

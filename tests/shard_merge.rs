@@ -180,11 +180,12 @@ fn conflicting_overlap_aborts_the_merge() {
     let dir = scratch_dir();
     run_shard(&dir, ShardSpec::new(1, 1).unwrap());
     let honest = dir.join(ShardSpec::new(1, 1).unwrap().file_name(spec().id));
-    // Flip a bit of `faults_injected` (the second-to-last u64 of an Ok
-    // record): still decodes, passes its checksum, but the simulation
-    // result now *differs* — the merge must refuse to pick a winner.
+    // Flip a bit of `faults_injected` (the third-to-last u64 of an Ok
+    // record — `wall` and the empty telemetry count trail it): still
+    // decodes, passes its checksum, but the simulation result now
+    // *differs* — the merge must refuse to pick a winner.
     forge_rival(&dir, &honest, ShardSpec::new(1, 2).unwrap(), |rec| {
-        let i = rec.len() - 16;
+        let i = rec.len() - 24;
         rec[i] ^= 0x01;
     });
     match merge(&dir) {
@@ -201,10 +202,11 @@ fn wall_clock_differences_are_not_conflicts() {
     let dir = scratch_dir();
     run_shard(&dir, ShardSpec::new(1, 1).unwrap());
     let honest = dir.join(ShardSpec::new(1, 1).unwrap().file_name(spec().id));
-    // Same point, different host wall-clock (the last u64): exactly
-    // what an honest re-run of the point produces. Dedup, not conflict.
+    // Same point, different host wall-clock (the u64 before the empty
+    // telemetry count): exactly what an honest re-run of the point
+    // produces. Dedup, not conflict.
     forge_rival(&dir, &honest, ShardSpec::new(1, 2).unwrap(), |rec| {
-        let i = rec.len() - 8;
+        let i = rec.len() - 16;
         rec[i] ^= 0xff;
     });
     let report = merge(&dir).expect("wall-clock skew is not a conflict");
