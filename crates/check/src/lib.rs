@@ -36,6 +36,7 @@
 
 mod coherence;
 mod net;
+mod spec;
 mod timing;
 
 use std::collections::VecDeque;
@@ -43,6 +44,7 @@ use std::fmt;
 
 pub use coherence::CoherenceChecker;
 pub use net::NetChecker;
+pub use spec::SpecLedger;
 pub use timing::EngineChecker;
 
 /// How much invariant checking a run performs.

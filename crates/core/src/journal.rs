@@ -133,6 +133,13 @@ pub fn sweep_fingerprint(
     fp.absorb_str(&format!("{:?}", sweep.check));
     fp.absorb_str(&format!("{:?}", sweep.total_events));
     fp.absorb_str(&format!("{:?}", sweep.telemetry));
+    // The engine knob never changes results — the optimistic engine is
+    // certified bit-identical — but it goes in anyway so a journal
+    // records which engine produced its points: if an equivalence bug
+    // ever slips in, resumes cannot silently mix engines. (The per-series
+    // machine configs above absorb `Machine::config()` defaults, which
+    // are always Sequential; only this line sees the sweep's choice.)
+    fp.absorb_str(&format!("{:?}", sweep.engine));
     fp.finish()
 }
 
@@ -655,6 +662,16 @@ mod tests {
         assert_ne!(
             base,
             sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &instrumented)
+        );
+        // The engine knob separates even though results are identical:
+        // the journal records which engine produced its points.
+        let optimistic = SweepConfig {
+            engine: spasm_machine::EngineMode::Optimistic { workers: 4 },
+            ..SweepConfig::default()
+        };
+        assert_ne!(
+            base,
+            sweep_fingerprint(spec, SizeClass::Test, &[2, 4], 5, &optimistic)
         );
         // Scheduling knobs do NOT separate: resume may change them.
         let rescheduled = SweepConfig {

@@ -16,8 +16,10 @@
 use std::time::Duration;
 
 use spasm_apps::SizeClass;
-use spasm_exec::{execute, Backoff, CostBudget, ExecConfig, ExecEvent, JobOutput};
-use spasm_machine::{CheckMode, FaultPlan, IntervalRecord, RunBudget, TelemetryConfig};
+use spasm_exec::{execute, Backoff, CostBudget, ExecConfig, ExecEvent, JobCtx, JobOutput};
+use spasm_machine::{
+    CheckMode, EngineMode, FaultPlan, IntervalRecord, RunBudget, RunError, TelemetryConfig,
+};
 
 use crate::figures::{FigureSpec, Metric};
 use crate::journal::SweepJournal;
@@ -125,6 +127,11 @@ pub struct SweepConfig {
     /// journaling purposes — the records ride in the journal — so it
     /// enters the sweep fingerprint, unlike the scheduling knobs.
     pub telemetry: Option<TelemetryConfig>,
+    /// Which engine drives every run: sequential (the default) or
+    /// optimistic with a worker budget. Results are bit-identical across
+    /// engines, but the knob still enters the sweep fingerprint so a
+    /// resumed journal records which engine produced its points.
+    pub engine: EngineMode,
 }
 
 impl Default for SweepConfig {
@@ -139,6 +146,7 @@ impl Default for SweepConfig {
             deadline: None,
             backoff: Backoff::NONE,
             telemetry: None,
+            engine: EngineMode::Sequential,
         }
     }
 }
@@ -298,7 +306,7 @@ pub fn run_figure_shard(
     let report = execute(
         exec_config(sweep, seed),
         points,
-        |_ctx, (machine, exp)| journaled_point(Some(journal), sweep, machine, &exp),
+        |ctx, (machine, exp)| journaled_point(Some(journal), sweep, machine, &exp, Some(ctx)),
         observe,
     );
     for slot in &report.results {
@@ -371,10 +379,24 @@ fn journaled_point(
     sweep: SweepConfig,
     machine: Machine,
     exp: &Experiment,
+    ctx: Option<&JobCtx<'_>>,
 ) -> JobOutput<(Outcome, Option<RunMetrics>, Vec<IntervalRecord>)> {
-    let (outcome, m, telemetry) = run_point(exp, machine, sweep);
+    let (outcome, m, telemetry) = run_point(exp, machine, sweep, ctx);
+    // A mid-run cancellation (deadline watchdog, batch cancel) is not a
+    // verdict on the point — the executor discards the result anyway —
+    // so it must never reach the journal: a journaled "failure" from an
+    // aborted run would poison every resume with uncommitted history.
+    let cancelled = matches!(
+        &outcome,
+        Outcome::Failed {
+            error: ExperimentError::Run(RunError::Cancelled { .. }),
+            ..
+        }
+    );
     if let Some(j) = journal {
-        j.record(machine, exp.procs, &outcome, m.as_ref(), &telemetry);
+        if !cancelled {
+            j.record(machine, exp.procs, &outcome, m.as_ref(), &telemetry);
+        }
     }
     let (cost, faults) = m.as_ref().map_or((0, 0), |m| (m.events, m.faults_injected));
     JobOutput {
@@ -405,7 +427,7 @@ fn run_figure_inner(
     let report = execute(
         exec_config(sweep, seed),
         points,
-        |_ctx, (machine, exp)| journaled_point(journal, sweep, machine, &exp),
+        |ctx, (machine, exp)| journaled_point(journal, sweep, machine, &exp, Some(ctx)),
         observe,
     );
 
@@ -467,10 +489,14 @@ fn run_figure_inner(
 /// is deterministic and would fail identically. Shared verbatim by the
 /// serial and parallel paths (the executor calls it from worker
 /// threads), with [`retry_seed`] supplying the per-attempt fault seed.
+/// The executor's `ctx`, when present, supplies a cancellation probe the
+/// engine polls between events, so a deadline-expired point aborts
+/// mid-run instead of finishing a forfeit simulation.
 fn run_point(
     exp: &Experiment,
     machine: Machine,
     sweep: SweepConfig,
+    ctx: Option<&JobCtx<'_>>,
 ) -> (Outcome, Option<RunMetrics>, Vec<IntervalRecord>) {
     let max_attempts = sweep.max_attempts.max(1);
     let mut attempts = 0;
@@ -480,12 +506,13 @@ fn run_point(
         config.budget = sweep.budget;
         config.check = sweep.check;
         config.telemetry = sweep.telemetry;
+        config.engine = sweep.engine;
         config.faults = sweep.faults.map(|f| FaultPlan {
             seed: retry_seed(f.seed, attempts),
             ..f
         });
-        match exp.run_with_config_full(config) {
-            Ok((m, telemetry)) => return (Outcome::Ok, Some(m), telemetry),
+        match exp.run_observed(config, ctx.map(JobCtx::cancel_probe)) {
+            Ok((m, telemetry, _spec)) => return (Outcome::Ok, Some(m), telemetry),
             Err(e) if e.is_retryable() && sweep.faults.is_some() && attempts < max_attempts => {
                 // Deterministic in (config, point seed, attempt): the
                 // pause schedule never perturbs results, only pacing.

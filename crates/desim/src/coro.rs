@@ -293,8 +293,14 @@ impl<Q, R> CoroCtx<Q, R> {
 struct Shutdown;
 
 #[derive(Debug)]
-struct ProcSlot<R> {
+struct ProcSlot<Q, R> {
     tx: Sender<R>,
+    /// This process's private envelope channel. One channel per process
+    /// (rather than one shared by the pool) so several processes can have
+    /// deposited envelopes at once — the optimistic engine resumes many
+    /// processes speculatively and collects their envelopes later, which
+    /// would overfill a single shared rendezvous slot.
+    env: Receiver<Envelope<Q>>,
     handle: Option<JoinHandle<()>>,
     live: bool,
 }
@@ -333,8 +339,7 @@ struct ProcSlot<R> {
 /// ```
 #[derive(Debug)]
 pub struct CoroPool<Q, R> {
-    slots: Vec<ProcSlot<R>>,
-    rx: Receiver<Envelope<Q>>,
+    slots: Vec<ProcSlot<Q, R>>,
 }
 
 impl<Q, R> CoroPool<Q, R>
@@ -360,50 +365,59 @@ where
     where
         F: FnOnce(ProcId, &CoroCtx<Q, R>) + Send + 'static,
     {
+        let slots = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(id, body)| Self::spawn_proc(id, body))
+            .collect();
+        CoroPool { slots }
+    }
+
+    /// Spawns one process thread with fresh rendezvous channels.
+    fn spawn_proc<F>(id: ProcId, body: F) -> ProcSlot<Q, R>
+    where
+        F: FnOnce(ProcId, &CoroCtx<Q, R>) + Send + 'static,
+    {
+        // Rendezvous channels: the process blocks until resumed, and its
+        // envelopes land in a slot only the simulator reads.
+        let (resp_tx, resp_rx) = channel::<R>();
         let (env_tx, env_rx) = channel::<Envelope<Q>>();
-        let mut slots = Vec::with_capacity(bodies.len());
-        for (id, body) in bodies.into_iter().enumerate() {
-            // Rendezvous channel: the process blocks until resumed.
-            let (resp_tx, resp_rx) = channel::<R>();
-            let env_tx = env_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sim-proc-{id}"))
-                .spawn(move || {
-                    // Park until the simulator's first resume.
-                    let Ok(_start) = resp_rx.recv() else {
-                        return; // simulator dropped before starting us
-                    };
-                    let ctx = CoroCtx {
-                        me: id,
-                        tx: env_tx.clone(),
-                        rx: resp_rx,
-                    };
-                    let result = catch_unwind(AssertUnwindSafe(|| body(id, &ctx)));
-                    // If the simulator is gone these sends fail; that is the
-                    // normal shutdown path and the error is ignored.
-                    let _ = match result {
-                        Ok(()) => env_tx.send(Envelope::Done(id)),
-                        Err(payload) => {
-                            // Teardown-induced unwinds (simulator dropped
-                            // the response channel mid-call) are normal
-                            // shutdown, not application panics.
-                            if payload.is::<Shutdown>() {
-                                return;
-                            }
-                            let msg = panic_message(payload.as_ref());
-                            env_tx.send(Envelope::Panicked(id, msg))
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-proc-{id}"))
+            .spawn(move || {
+                // Park until the simulator's first resume.
+                let Ok(_start) = resp_rx.recv() else {
+                    return; // simulator dropped before starting us
+                };
+                let ctx = CoroCtx {
+                    me: id,
+                    tx: env_tx.clone(),
+                    rx: resp_rx,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| body(id, &ctx)));
+                // If the simulator is gone these sends fail; that is the
+                // normal shutdown path and the error is ignored.
+                let _ = match result {
+                    Ok(()) => env_tx.send(Envelope::Done(id)),
+                    Err(payload) => {
+                        // Teardown-induced unwinds (simulator dropped
+                        // the response channel mid-call) are normal
+                        // shutdown, not application panics.
+                        if payload.is::<Shutdown>() {
+                            return;
                         }
-                    };
-                })
-                .expect("spawn simulation process thread");
-            slots.push(ProcSlot {
-                tx: resp_tx,
-                handle: Some(handle),
-                live: true,
-            });
+                        let msg = panic_message(payload.as_ref());
+                        env_tx.send(Envelope::Panicked(id, msg))
+                    }
+                };
+            })
+            .expect("spawn simulation process thread");
+        ProcSlot {
+            tx: resp_tx,
+            env: env_rx,
+            handle: Some(handle),
+            live: true,
         }
-        drop(env_tx); // per-thread clones keep the env channel usable
-        CoroPool { slots, rx: env_rx }
     }
 
     /// Number of processes in the pool.
@@ -425,27 +439,99 @@ where
     /// simulator logic error) or if the process thread vanished without
     /// reporting (should be impossible).
     pub fn resume(&mut self, proc: ProcId, resp: R) -> Step<Q> {
+        self.resume_async(proc, resp);
+        self.collect(proc)
+    }
+
+    /// Delivers response `resp` to process `proc` without waiting for its
+    /// next envelope. The process becomes runnable and will deposit its
+    /// next envelope whenever the OS schedules it; pair with
+    /// [`CoroPool::collect`] to retrieve it.
+    ///
+    /// This is the speculation primitive: an optimistic simulator can make
+    /// several processes runnable at once and only synchronize with each
+    /// when its envelope is actually needed, amortizing context switches
+    /// across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` already finished or its thread vanished.
+    pub fn resume_async(&mut self, proc: ProcId, resp: R) {
         let slot = &mut self.slots[proc];
         assert!(slot.live, "resumed process {proc} after it finished");
         assert!(slot.tx.send(resp).is_ok(), "process thread vanished");
-        // Only `proc` is runnable, so the next envelope must be from it —
-        // and it is coming promptly, so spin rather than park.
-        match self.rx.recv_spin().expect("process thread vanished") {
-            Envelope::Request(p, q) => {
+    }
+
+    /// Waits for the envelope from a previously resumed process `proc`.
+    ///
+    /// Spins rather than parks: the process is runnable and about to
+    /// deposit (or already has). Exactly one `collect` must follow each
+    /// [`CoroPool::resume_async`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process thread vanished without reporting.
+    pub fn collect(&mut self, proc: ProcId) -> Step<Q> {
+        match self.slots[proc].env.recv_spin() {
+            Ok(Envelope::Request(p, q)) => {
                 debug_assert_eq!(p, proc, "request from unexpected process");
                 Step::Request(q)
             }
-            Envelope::Done(p) => {
+            Ok(Envelope::Done(p)) => {
                 debug_assert_eq!(p, proc);
                 self.retire(proc);
                 Step::Done
             }
-            Envelope::Panicked(p, msg) => {
+            Ok(Envelope::Panicked(p, msg)) => {
                 debug_assert_eq!(p, proc);
                 self.retire(proc);
                 Step::Panicked(msg)
             }
+            Err(()) => panic!("process thread vanished"),
         }
+    }
+
+    /// Forcibly terminates process `proc`, discarding whatever it was
+    /// doing. Closing the response channel unwinds the thread out of its
+    /// next (or current) `call`; any envelope it deposited before dying is
+    /// drained and discarded.
+    ///
+    /// This is the rollback primitive: a mis-speculated process cannot be
+    /// "rewound", so the optimistic simulator kills it and respawns a
+    /// fresh body, replaying the committed response history. The slot goes
+    /// dead until [`CoroPool::respawn`].
+    ///
+    /// Note the thread is *joined*: a body spinning forever in pure
+    /// computation (never calling the simulator) would hang this join.
+    /// Simulation kernels always issue requests, so this is accepted.
+    pub fn kill(&mut self, proc: ProcId) {
+        let slot = &mut self.slots[proc];
+        slot.tx.close();
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+        slot.live = false;
+        // At most one stale envelope can be in flight (`call` deposits
+        // exactly one before blocking on the response); drop it.
+        let _ = slot.env.try_take();
+    }
+
+    /// Replaces a killed (or finished) process slot with a freshly spawned
+    /// body. The new process is parked awaiting its first resume, exactly
+    /// like at pool construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is still live — kill or retire it first.
+    pub fn respawn<F>(&mut self, proc: ProcId, body: F)
+    where
+        F: FnOnce(ProcId, &CoroCtx<Q, R>) + Send + 'static,
+    {
+        assert!(
+            !self.slots[proc].live,
+            "respawned process {proc} while it is still live"
+        );
+        self.slots[proc] = Self::spawn_proc(proc, body);
     }
 
     fn retire(&mut self, proc: ProcId) {
@@ -603,6 +689,70 @@ mod tests {
             }
         }
         drop(pool); // must not deadlock or panic
+    }
+
+    #[test]
+    fn async_resume_batch_collects_in_any_order() {
+        let n = 4;
+        let mut pool: CoroPool<usize, usize> = CoroPool::new(n, |id, ctx| {
+            let echoed = ctx.call(id + 100);
+            assert_eq!(echoed, id + 100);
+        });
+        // Make every process runnable at once, then collect in reverse.
+        for p in 0..n {
+            pool.resume_async(p, 0);
+        }
+        for p in (0..n).rev() {
+            match pool.collect(p) {
+                Step::Request(q) => assert_eq!(q, p + 100),
+                other => panic!("{other:?}"),
+            }
+        }
+        for p in 0..n {
+            assert!(matches!(pool.resume(p, p + 100), Step::Done));
+        }
+    }
+
+    #[test]
+    fn kill_and_respawn_replays_a_fresh_body() {
+        let mut pool: CoroPool<u32, u32> = CoroPool::new(1, |_, ctx| {
+            ctx.call(1);
+            ctx.call(2);
+        });
+        // Run to the second request, then kill mid-rendezvous.
+        assert!(matches!(pool.resume(0, 0), Step::Request(1)));
+        assert!(matches!(pool.resume(0, 0), Step::Request(2)));
+        pool.kill(0);
+        assert!(!pool.is_live(0));
+        // The respawned body starts from scratch: same request sequence.
+        pool.respawn(0, |_, ctx: &CoroCtx<u32, u32>| {
+            ctx.call(1);
+            ctx.call(2);
+        });
+        assert!(pool.is_live(0));
+        assert!(matches!(pool.resume(0, 0), Step::Request(1)));
+        assert!(matches!(pool.resume(0, 0), Step::Request(2)));
+        assert!(matches!(pool.resume(0, 0), Step::Done));
+    }
+
+    #[test]
+    fn kill_discards_a_deposited_envelope() {
+        let mut pool: CoroPool<u32, u32> = CoroPool::new(1, |_, ctx| {
+            ctx.call(7);
+            unreachable!("killed before the response arrives");
+        });
+        // Resume asynchronously and give the thread time to deposit its
+        // request envelope, then kill without collecting it.
+        pool.resume_async(0, 0);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        pool.kill(0);
+        pool.respawn(0, |_, ctx: &CoroCtx<u32, u32>| {
+            ctx.call(9);
+        });
+        // The stale envelope (7) must be gone: the first collect after the
+        // respawn sees the fresh body's request.
+        assert!(matches!(pool.resume(0, 0), Step::Request(9)));
+        assert!(matches!(pool.resume(0, 0), Step::Done));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Commit-epoch bookkeeping for optimistic execution.
+//!
+//! An optimistic simulator commits events continuously but reclaims
+//! speculation bookkeeping (snapshots, response histories, ledger
+//! counters) only at coarser *epoch* boundaries — the moral equivalent of
+//! Time Warp's periodic GVT computation. [`EpochClock`] is that cadence:
+//! it counts committed events and reports when an epoch boundary is
+//! crossed, so the engine can fence its reclamation work to a bounded,
+//! deterministic schedule.
+
+/// Counts committed events and fires an epoch boundary every `stride`
+/// commits.
+///
+/// The clock is pure bookkeeping — it holds no event state — so the
+/// sequential and optimistic engines can share commit paths without the
+/// sequential one paying anything beyond an integer increment.
+///
+/// # Example
+///
+/// ```
+/// use spasm_desim::EpochClock;
+///
+/// let mut gvt = EpochClock::new(3);
+/// assert!(!gvt.tick()); // 1 commit
+/// assert!(!gvt.tick()); // 2
+/// assert!(gvt.tick()); // 3: epoch boundary
+/// assert_eq!(gvt.committed(), 3);
+/// assert_eq!(gvt.epochs(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochClock {
+    stride: u64,
+    committed: u64,
+    epochs: u64,
+}
+
+impl EpochClock {
+    /// Creates a clock that fires every `stride` committed events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero (an epoch must contain work).
+    pub fn new(stride: u64) -> Self {
+        assert!(stride > 0, "epoch stride must be nonzero");
+        EpochClock {
+            stride,
+            committed: 0,
+            epochs: 0,
+        }
+    }
+
+    /// Records one committed event; returns `true` when this commit
+    /// crosses an epoch boundary.
+    pub fn tick(&mut self) -> bool {
+        self.committed += 1;
+        if self.committed.is_multiple_of(self.stride) {
+            self.epochs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total events committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_fire_every_stride_commits() {
+        let mut c = EpochClock::new(4);
+        let fired: Vec<bool> = (0..10).map(|_| c.tick()).collect();
+        assert_eq!(
+            fired,
+            [false, false, false, true, false, false, false, true, false, false]
+        );
+        assert_eq!(c.committed(), 10);
+        assert_eq!(c.epochs(), 2);
+    }
+
+    #[test]
+    fn stride_one_fires_every_commit() {
+        let mut c = EpochClock::new(1);
+        assert!(c.tick());
+        assert!(c.tick());
+        assert_eq!(c.epochs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_stride_is_rejected() {
+        EpochClock::new(0);
+    }
+}

@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 
 mod coro;
+mod epoch;
 mod event_queue;
 mod facility;
 mod time;
 
 pub use coro::{CoroCtx, CoroPool, ProcId, Step};
+pub use epoch::EpochClock;
 pub use event_queue::{CalendarQueue, HeapQueue, PopIfBefore};
 pub use facility::{Facility, FacilityStats};
 pub use time::SimTime;

@@ -275,7 +275,7 @@ pub struct JobCtx<'a> {
     pub seed: u64,
     cancel: &'a CancelToken,
     /// This job's lifecycle phase, when a deadline watchdog is active.
-    phase: Option<&'a AtomicU8>,
+    phase: Option<&'a Arc<AtomicU8>>,
 }
 
 impl JobCtx<'_> {
@@ -292,6 +292,24 @@ impl JobCtx<'_> {
     pub fn deadline_expired(&self) -> bool {
         self.phase
             .is_some_and(|p| p.load(Ordering::Acquire) == PHASE_EXPIRED)
+    }
+
+    /// An owned probe over this job's cancellation state: a boxed
+    /// closure equivalent to [`JobCtx::cancelled`] that captures clones
+    /// of the shared flags and so outlives the `JobCtx` borrow. The
+    /// experiment layer installs it into the simulation engine, which
+    /// polls it between events — a cancelled or deadline-expired job
+    /// then aborts mid-run (mid-speculation included, in the optimistic
+    /// engine) instead of completing a forfeit simulation.
+    pub fn cancel_probe(&self) -> Box<dyn Fn() -> bool + Send + 'static> {
+        let cancel = self.cancel.clone();
+        let phase = self.phase.cloned();
+        Box::new(move || {
+            cancel.is_cancelled()
+                || phase
+                    .as_ref()
+                    .is_some_and(|p| p.load(Ordering::Acquire) == PHASE_EXPIRED)
+        })
     }
 }
 
@@ -499,7 +517,9 @@ const PHASE_EXPIRED: u8 = 3;
 /// [`ExecConfig::deadline`] is set).
 #[derive(Debug, Default)]
 struct JobPhase {
-    phase: AtomicU8,
+    /// Shared so [`JobCtx::cancel_probe`] can hand the engine an owned
+    /// handle that outlives the pool borrow.
+    phase: Arc<AtomicU8>,
     /// When the worker picked the job up; `None` until then. Instant is
     /// monotonic, so suspend/clock-step cannot fire the watchdog early.
     started: Mutex<Option<Instant>>,

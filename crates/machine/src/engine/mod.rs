@@ -1,0 +1,533 @@
+//! The execution-driven simulation engine.
+//!
+//! The engine comes in two modes (see [`EngineMode`]):
+//!
+//! * [`sequential`] — the committed execution path: one event popped, one
+//!   effect applied, one processor resumed, in deterministic virtual-time
+//!   order. This module also owns all the machinery the optimistic mode
+//!   reuses, because optimistic execution *commits* through exactly the
+//!   same code.
+//! * [`optimistic`] — a Time-Warp-style layer that delivers *predicted*
+//!   responses to processor coroutines before their commit events pop,
+//!   letting application threads run speculatively past the commit
+//!   horizon. Mispredictions roll the affected processor back (kill,
+//!   respawn, replay committed history) and are annihilated in a
+//!   conservation ledger. Engine-side state only ever mutates in
+//!   committed order, which is what makes the two modes bit-identical.
+
+mod optimistic;
+mod sequential;
+
+use std::fmt;
+use std::time::Duration;
+
+use spasm_check::{CheckMode, CheckViolation, EngineChecker};
+use spasm_desim::{CoroCtx, CoroPool, EventQueue, SimTime};
+use spasm_topology::{Topology, TopologyError};
+
+use crate::addr::UnallocatedAddress;
+use crate::faults::{FaultCounters, FaultInjector, RunBudget};
+use crate::fxhash::FxHashMap;
+use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
+use crate::ops::{MemReq, MemResp, Pred, RmwOp};
+use crate::stats::{Buckets, ProcStats};
+use crate::telemetry::{Collector, IntervalRecord, Snapshot};
+use crate::{Addr, AddressMap, SetupCtx, ValueStore};
+
+use optimistic::SpecState;
+
+/// One simulated processor's program.
+pub type ProcBody = Box<dyn FnOnce(usize, &CoroCtx<MemReq, MemResp>) + Send + 'static>;
+
+/// Produces a fresh copy of processor `proc`'s body, for optimistic
+/// rollback (the engine kills a mis-speculated coroutine and replays a
+/// fresh instance through committed history). Must be deterministic: two
+/// bodies from the same factory must issue identical request sequences
+/// given identical response sequences.
+pub type BodyFactory = Box<dyn Fn(usize) -> ProcBody + Send>;
+
+/// Cooperative cancellation probe, polled by [`Engine::run`] between
+/// events. Returning `true` aborts the run with [`RunError::Cancelled`]
+/// without committing any speculative state.
+pub type CancelProbe = Box<dyn Fn() -> bool + Send>;
+
+/// Which execution strategy drives the event loop.
+///
+/// Both modes produce **bit-identical** results — same `RunReport`
+/// fields, same fingerprints, same telemetry — because all engine-side
+/// state mutates in committed event order in either mode; the optimistic
+/// mode only moves *application coroutine* execution ahead of the commit
+/// horizon. `tests/optimistic_equivalence.rs` proves this cell by cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Classic sequential event loop (the default).
+    #[default]
+    Sequential,
+    /// Time-Warp-style speculation: up to `workers` processors may hold
+    /// a speculatively delivered response at once.
+    Optimistic {
+        /// Speculation width: maximum processors running ahead of the
+        /// commit horizon simultaneously (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl EngineMode {
+    /// Parses `"sequential"`, `"optimistic"` (width 4), or
+    /// `"optimistic:N"`.
+    pub fn from_name(name: &str) -> Option<EngineMode> {
+        match name {
+            "sequential" => Some(EngineMode::Sequential),
+            "optimistic" => Some(EngineMode::Optimistic { workers: 4 }),
+            _ => {
+                let n: usize = name.strip_prefix("optimistic:")?.parse().ok()?;
+                (n >= 1).then_some(EngineMode::Optimistic { workers: n })
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::Sequential => f.write_str("sequential"),
+            EngineMode::Optimistic { workers } => write!(f, "optimistic:{workers}"),
+        }
+    }
+}
+
+/// Why a simulation failed.
+///
+/// Every variant is a *typed* outcome of [`Engine::run`]: application-level
+/// failure modes (panic, deadlock, bad request) and injected or configured
+/// limits (budget, cancellation) end the run with an error value, never a
+/// process abort.
+#[derive(Debug)]
+pub enum RunError {
+    /// A processor's body panicked.
+    Panicked {
+        /// The processor.
+        proc: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// No events remain but processors are still waiting — a lost-wakeup
+    /// or application-level deadlock.
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        at: SimTime,
+        /// Processors still blocked.
+        waiting: Vec<usize>,
+    },
+    /// The run exceeded its [`RunBudget`] (livelock, runaway workload, or
+    /// a deliberately tight bound).
+    BudgetExceeded {
+        /// Simulated time when the budget tripped.
+        at: SimTime,
+        /// Events processed when the budget tripped.
+        events: u64,
+    },
+    /// A cancellation probe (see [`Engine::set_cancel_probe`]) asked the
+    /// run to stop. No state from uncommitted (speculative) history
+    /// survives: the report is never produced and speculative coroutines
+    /// are torn down with the engine.
+    Cancelled {
+        /// Simulated time when the cancellation was observed.
+        at: SimTime,
+        /// Events processed when the cancellation was observed.
+        events: u64,
+    },
+    /// A memory operation named an address outside every allocation.
+    UnallocatedAddress {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A message could not be routed (out-of-range node or a broken
+    /// link table).
+    Route {
+        /// The underlying topology error.
+        error: TopologyError,
+    },
+    /// A processor issued a malformed request (unaligned access,
+    /// out-of-range destination, oversized message, double receive).
+    BadRequest {
+        /// The processor.
+        proc: usize,
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// An online invariant checker detected a violation (only possible
+    /// when the run's [`MachineConfig`] enables a
+    /// [`spasm_check::CheckMode`]).
+    Check(CheckViolation),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked { proc, message } => {
+                write!(f, "processor {proc} panicked: {message}")
+            }
+            RunError::Deadlock { at, waiting } => {
+                write!(
+                    f,
+                    "deadlock at {at}: processors {waiting:?} blocked forever"
+                )
+            }
+            RunError::BudgetExceeded { at, events } => {
+                write!(f, "run budget exceeded at {at} after {events} events")
+            }
+            RunError::Cancelled { at, events } => {
+                write!(f, "run cancelled at {at} after {events} events")
+            }
+            RunError::UnallocatedAddress { addr } => {
+                write!(f, "address {addr} not allocated")
+            }
+            RunError::Route { error } => write!(f, "routing failed: {error}"),
+            RunError::BadRequest { proc, message } => {
+                write!(f, "processor {proc} issued a bad request: {message}")
+            }
+            RunError::Check(violation) => write!(f, "{violation}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<UnallocatedAddress> for RunError {
+    fn from(e: UnallocatedAddress) -> Self {
+        RunError::UnallocatedAddress { addr: e.0 }
+    }
+}
+
+impl From<TopologyError> for RunError {
+    fn from(error: TopologyError) -> Self {
+        RunError::Route { error }
+    }
+}
+
+impl From<CheckViolation> for RunError {
+    fn from(violation: CheckViolation) -> Self {
+        RunError::Check(violation)
+    }
+}
+
+/// Speculation counters from an optimistic run (all zero under
+/// [`EngineMode::Sequential`]).
+///
+/// Like [`RunReport::wall`], these describe *how* the run executed, not
+/// *what* it computed — the differential equivalence suite excludes them
+/// (and `wall`) when comparing engines, and they feed the
+/// `timewarp_speed` bench's rollback-rate gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Responses delivered speculatively, ahead of their commit events.
+    pub spec_resumes: u64,
+    /// Speculative deliveries whose prediction the commit confirmed.
+    pub spec_hits: u64,
+    /// Mispredictions rolled back (kill + respawn + replay).
+    pub rollbacks: u64,
+    /// Anti-messages that annihilated a mis-speculated execution
+    /// (equals `rollbacks` unless an anti-message-loss fault is forged).
+    pub annihilated: u64,
+    /// Committed events re-driven through respawned coroutines during
+    /// rollback replays.
+    pub replayed_events: u64,
+    /// GVT epochs crossed (committed-event strides at which the engine
+    /// reclaims retired processors' replay histories).
+    pub gvt_epochs: u64,
+}
+
+/// Results of one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Which machine was simulated.
+    pub kind: MachineKind,
+    /// Total (simulated) execution time: the maximum over processors of
+    /// their completion times — SPASM's "total time".
+    pub exec_time: SimTime,
+    /// Per-processor statistics.
+    pub per_proc: Vec<ProcStats>,
+    /// Sum of all processors' buckets.
+    pub totals: Buckets,
+    /// Simulator events processed (the simulation-speed driver).
+    pub events: u64,
+    /// Machine-side counters (network traffic, cache behaviour).
+    pub summary: ModelSummary,
+    /// Per-labeled-region overhead attribution (SPASM-style "which data
+    /// structure caused the traffic"), sorted by label.
+    pub region_traffic: Vec<(&'static str, Buckets)>,
+    /// The shared memory at completion, for result verification.
+    pub final_store: ValueStore,
+    /// Faults actually injected during the run (all zero when no
+    /// [`crate::FaultPlan`] was configured).
+    pub faults: FaultCounters,
+    /// Interval telemetry records, one per non-empty sim-time bucket in
+    /// order (empty unless the run's [`MachineConfig`] enabled a
+    /// [`crate::TelemetryConfig`]).
+    pub telemetry: Vec<IntervalRecord>,
+    /// Speculation counters (zero under [`EngineMode::Sequential`]).
+    /// Execution metadata like [`RunReport::wall`]: excluded from
+    /// engine-equivalence comparisons.
+    pub spec: SpecStats,
+    /// Host wall-clock time the simulation took (§7 "Speed of Simulation").
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Mean per-processor latency overhead, in microseconds — the metric
+    /// the paper's latency figures plot.
+    pub fn latency_overhead_us(&self) -> f64 {
+        self.totals.latency.as_us_f64() / self.procs() as f64
+    }
+
+    /// Mean per-processor contention overhead, in microseconds.
+    pub fn contention_overhead_us(&self) -> f64 {
+        self.totals.contention.as_us_f64() / self.procs() as f64
+    }
+
+    /// Execution time in microseconds.
+    pub fn exec_time_us(&self) -> f64 {
+        self.exec_time.as_us_f64()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// Handle a processor's request at its issue time.
+    Dispatch(usize, MemReq),
+    /// An operation completes: apply its effect and resume the processor.
+    Commit(usize, Action),
+    /// An explicit message arrives at its destination's mailbox.
+    /// `drops` counts how many times this delivery has already been
+    /// dropped in flight (bounds injected message loss).
+    Deliver {
+        dst: usize,
+        tag: u64,
+        value: u64,
+        drops: u32,
+    },
+}
+
+/// `Copy` so a scheduled commit can also be inspected by the optimistic
+/// speculation hook without cloning through the slab.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Action {
+    Compute,
+    Read(Addr),
+    Write(Addr, u64),
+    Rmw(Addr, RmwOp),
+    Check(Addr, Pred),
+    Sent,
+    Received(u64),
+}
+
+/// Arena for in-flight events. The queue orders bare `u32` slot ids (so
+/// its internal moves, sorts, and bucket redistributions shuffle 4-byte
+/// handles, not full [`Ev`] payloads); the payloads themselves sit in the
+/// slab until popped. Freed slots are recycled LIFO, keeping the live
+/// working set dense.
+#[derive(Debug, Default)]
+struct EvSlab {
+    slots: Vec<Option<Ev>>,
+    free: Vec<u32>,
+}
+
+impl EvSlab {
+    #[inline]
+    fn alloc(&mut self, ev: Ev) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(ev);
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
+                self.slots.push(Some(ev));
+                id
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, id: u32) -> Ev {
+        let ev = self.slots[id as usize]
+            .take()
+            .expect("popped id names a live event");
+        self.free.push(id);
+        ev
+    }
+}
+
+/// Drives application processes over a machine model.
+///
+/// See the crate-level example. The engine owns the coroutine pool, the
+/// event queue, the value store, and the machine model; [`Engine::run`]
+/// consumes events to completion and produces a [`RunReport`].
+pub struct Engine {
+    pool: CoroPool<MemReq, MemResp>,
+    model: Model,
+    amap: AddressMap,
+    store: ValueStore,
+    events: EventQueue<u32>,
+    slab: EvSlab,
+    /// word index → processors spin-waiting on that word.
+    watchers: FxHashMap<u64, Vec<(usize, Pred)>>,
+    region_traffic: FxHashMap<&'static str, Buckets>,
+    /// (receiver, tag) → arrived-but-unconsumed message payloads, FIFO.
+    mailboxes: FxHashMap<(usize, u64), std::collections::VecDeque<u64>>,
+    /// Per-processor pending blocking receive (tag), if any.
+    recv_wait: Vec<Option<u64>>,
+    wait_start: Vec<Option<SimTime>>,
+    stats: Vec<ProcStats>,
+    live: usize,
+    now: SimTime,
+    budget: RunBudget,
+    injector: Option<FaultInjector>,
+    checker: Option<EngineChecker>,
+    telemetry: Option<Collector>,
+    processed: u64,
+    check: CheckMode,
+    /// Speculation state; `Some` iff the mode is optimistic.
+    spec: Option<SpecState>,
+    body_factory: Option<BodyFactory>,
+    cancel: Option<CancelProbe>,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("kind", &self.model.kind())
+            .field("procs", &self.stats.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine with the default [`MachineConfig`].
+    pub fn new(kind: MachineKind, topo: &Topology, setup: SetupCtx, bodies: Vec<ProcBody>) -> Self {
+        Engine::with_config(kind, topo, MachineConfig::default(), setup, bodies)
+    }
+
+    /// Builds an engine with an explicit machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of bodies does not match the topology size or
+    /// the setup's node count.
+    pub fn with_config(
+        kind: MachineKind,
+        topo: &Topology,
+        config: MachineConfig,
+        setup: SetupCtx,
+        bodies: Vec<ProcBody>,
+    ) -> Self {
+        let p = topo.nodes();
+        assert_eq!(bodies.len(), p, "one body per processor");
+        assert_eq!(setup.nodes(), p, "setup sized for a different machine");
+        let (amap, store) = setup.into_parts();
+        let wrapped: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(id, body)| {
+                move |proc: usize, ctx: &CoroCtx<MemReq, MemResp>| {
+                    debug_assert_eq!(proc, id);
+                    body(proc, ctx)
+                }
+            })
+            .collect();
+        Engine {
+            pool: CoroPool::from_bodies(wrapped),
+            model: Model::new(kind, topo, config),
+            amap,
+            store,
+            events: EventQueue::new(),
+            slab: EvSlab::default(),
+            watchers: FxHashMap::default(),
+            region_traffic: FxHashMap::default(),
+            mailboxes: FxHashMap::default(),
+            recv_wait: vec![None; p],
+            wait_start: vec![None; p],
+            stats: vec![ProcStats::default(); p],
+            live: p,
+            now: SimTime::ZERO,
+            budget: config.budget,
+            injector: config
+                .faults
+                .filter(|f| f.is_active())
+                .map(FaultInjector::new),
+            checker: config
+                .check
+                .enabled()
+                .then(|| EngineChecker::new(config.check)),
+            telemetry: config.telemetry.map(Collector::new),
+            processed: 0,
+            check: config.check,
+            spec: match config.engine {
+                EngineMode::Sequential => None,
+                EngineMode::Optimistic { workers } => {
+                    Some(SpecState::new(workers.max(1), p, config.check.enabled()))
+                }
+            },
+            body_factory: None,
+            cancel: None,
+        }
+    }
+
+    /// Installs the body factory the optimistic mode needs to roll back
+    /// inexact speculations (see [`BodyFactory`]).
+    ///
+    /// Without a factory the optimistic engine degrades gracefully: it
+    /// only speculates responses it can predict *exactly* (acks and
+    /// already-materialized receive payloads), which can never
+    /// mispredict, so no rollback is ever required.
+    pub fn set_body_factory(&mut self, factory: BodyFactory) {
+        self.body_factory = Some(factory);
+    }
+
+    /// Installs a cooperative cancellation probe, polled between events
+    /// and before every rollback. See [`RunError::Cancelled`].
+    pub fn set_cancel_probe(&mut self, probe: CancelProbe) {
+        self.cancel = Some(probe);
+    }
+
+    /// Samples the monotone counters the telemetry deltas derive from.
+    /// Only called at bucket boundaries, so the O(procs) sweep is off the
+    /// per-event path.
+    fn telemetry_snapshot(&self) -> Snapshot {
+        let mut busy = SimTime::ZERO;
+        let mut mem = SimTime::ZERO;
+        let mut comm = SimTime::ZERO;
+        let mut sync = SimTime::ZERO;
+        for s in &self.stats {
+            busy += s.buckets.busy;
+            mem += s.buckets.mem;
+            comm += s.buckets.latency + s.buckets.contention + s.buckets.dir_wait;
+            sync += s.buckets.sync;
+        }
+        let summary = self.model.summary(self.stats.len());
+        Snapshot {
+            busy_ns: busy.as_ns(),
+            mem_ns: mem.as_ns(),
+            comm_ns: comm.as_ns(),
+            sync_ns: sync.as_ns(),
+            cache_hits: summary.cache_hits,
+            cache_misses: summary.cache_misses,
+            faults: self.injector.as_ref().map_or(0, |i| i.counters.total()),
+        }
+    }
+
+    /// Allocates a slab slot for `ev` and schedules it at `at`.
+    #[inline]
+    fn push_ev(&mut self, at: SimTime, ev: Ev) {
+        let id = self.slab.alloc(ev);
+        self.events.push(at, id);
+    }
+}

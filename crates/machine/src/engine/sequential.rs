@@ -1,376 +1,32 @@
-//! The execution-driven simulation engine.
+//! The committed execution path: the event loop, pricing, and effects.
+//!
+//! Everything here runs in strict virtual-time order and mutates
+//! engine-side state (model, store, stats, queue, checkers, telemetry)
+//! only at event pops. Both engine modes share this path — the
+//! optimistic layer in [`super::optimistic`] never applies an effect
+//! early, it only lets *application coroutines* run ahead; commits flow
+//! through [`Engine::deliver_resume`], which is the single seam between
+//! the two modes.
 
-use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use spasm_cache::AccessKind;
-use spasm_check::{CheckViolation, EngineChecker};
-use spasm_desim::{CoroCtx, CoroPool, EventQueue, PopIfBefore, SimTime, Step};
-use spasm_topology::{Topology, TopologyError};
+use spasm_check::CheckViolation;
+use spasm_desim::{PopIfBefore, SimTime, Step};
 
-use crate::addr::UnallocatedAddress;
-use crate::faults::{FaultCounters, FaultInjector, RunBudget};
-use crate::fxhash::FxHashMap;
-use crate::models::{MachineConfig, MachineKind, Model, ModelSummary};
-use crate::ops::{MemReq, MemResp, Pred, RmwOp};
-use crate::stats::{Buckets, ProcStats};
-use crate::telemetry::{Collector, IntervalRecord, Snapshot};
-use crate::{Addr, AddressMap, SetupCtx, ValueStore, CYCLE_NS};
+use crate::ops::{MemReq, MemResp};
+use crate::stats::Buckets;
+use crate::{Addr, CYCLE_NS};
 
-/// One simulated processor's program.
-pub type ProcBody = Box<dyn FnOnce(usize, &CoroCtx<MemReq, MemResp>) + Send + 'static>;
+use super::{Action, Engine, Ev, RunError, RunReport};
 
-/// Why a simulation failed.
-///
-/// Every variant is a *typed* outcome of [`Engine::run`]: application-level
-/// failure modes (panic, deadlock, bad request) and injected or configured
-/// limits (budget) end the run with an error value, never a process abort.
-#[derive(Debug)]
-pub enum RunError {
-    /// A processor's body panicked.
-    Panicked {
-        /// The processor.
-        proc: usize,
-        /// The panic message.
-        message: String,
-    },
-    /// No events remain but processors are still waiting — a lost-wakeup
-    /// or application-level deadlock.
-    Deadlock {
-        /// Simulated time at which progress stopped.
-        at: SimTime,
-        /// Processors still blocked.
-        waiting: Vec<usize>,
-    },
-    /// The run exceeded its [`RunBudget`] (livelock, runaway workload, or
-    /// a deliberately tight bound).
-    BudgetExceeded {
-        /// Simulated time when the budget tripped.
-        at: SimTime,
-        /// Events processed when the budget tripped.
-        events: u64,
-    },
-    /// A memory operation named an address outside every allocation.
-    UnallocatedAddress {
-        /// The offending address.
-        addr: Addr,
-    },
-    /// A message could not be routed (out-of-range node or a broken
-    /// link table).
-    Route {
-        /// The underlying topology error.
-        error: TopologyError,
-    },
-    /// A processor issued a malformed request (unaligned access,
-    /// out-of-range destination, oversized message, double receive).
-    BadRequest {
-        /// The processor.
-        proc: usize,
-        /// What was wrong with the request.
-        message: String,
-    },
-    /// An online invariant checker detected a violation (only possible
-    /// when the run's [`MachineConfig`] enables a
-    /// [`spasm_check::CheckMode`]).
-    Check(CheckViolation),
-}
-
-impl fmt::Display for RunError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RunError::Panicked { proc, message } => {
-                write!(f, "processor {proc} panicked: {message}")
-            }
-            RunError::Deadlock { at, waiting } => {
-                write!(
-                    f,
-                    "deadlock at {at}: processors {waiting:?} blocked forever"
-                )
-            }
-            RunError::BudgetExceeded { at, events } => {
-                write!(f, "run budget exceeded at {at} after {events} events")
-            }
-            RunError::UnallocatedAddress { addr } => {
-                write!(f, "address {addr} not allocated")
-            }
-            RunError::Route { error } => write!(f, "routing failed: {error}"),
-            RunError::BadRequest { proc, message } => {
-                write!(f, "processor {proc} issued a bad request: {message}")
-            }
-            RunError::Check(violation) => write!(f, "{violation}"),
-        }
-    }
-}
-
-impl std::error::Error for RunError {}
-
-impl From<UnallocatedAddress> for RunError {
-    fn from(e: UnallocatedAddress) -> Self {
-        RunError::UnallocatedAddress { addr: e.0 }
-    }
-}
-
-impl From<TopologyError> for RunError {
-    fn from(error: TopologyError) -> Self {
-        RunError::Route { error }
-    }
-}
-
-impl From<CheckViolation> for RunError {
-    fn from(violation: CheckViolation) -> Self {
-        RunError::Check(violation)
-    }
-}
-
-/// Results of one simulation run.
-#[derive(Debug)]
-pub struct RunReport {
-    /// Which machine was simulated.
-    pub kind: MachineKind,
-    /// Total (simulated) execution time: the maximum over processors of
-    /// their completion times — SPASM's "total time".
-    pub exec_time: SimTime,
-    /// Per-processor statistics.
-    pub per_proc: Vec<ProcStats>,
-    /// Sum of all processors' buckets.
-    pub totals: Buckets,
-    /// Simulator events processed (the simulation-speed driver).
-    pub events: u64,
-    /// Machine-side counters (network traffic, cache behaviour).
-    pub summary: ModelSummary,
-    /// Per-labeled-region overhead attribution (SPASM-style "which data
-    /// structure caused the traffic"), sorted by label.
-    pub region_traffic: Vec<(&'static str, Buckets)>,
-    /// The shared memory at completion, for result verification.
-    pub final_store: ValueStore,
-    /// Faults actually injected during the run (all zero when no
-    /// [`crate::FaultPlan`] was configured).
-    pub faults: FaultCounters,
-    /// Interval telemetry records, one per non-empty sim-time bucket in
-    /// order (empty unless the run's [`MachineConfig`] enabled a
-    /// [`crate::TelemetryConfig`]).
-    pub telemetry: Vec<IntervalRecord>,
-    /// Host wall-clock time the simulation took (§7 "Speed of Simulation").
-    pub wall: Duration,
-}
-
-impl RunReport {
-    /// Number of processors.
-    pub fn procs(&self) -> usize {
-        self.per_proc.len()
-    }
-
-    /// Mean per-processor latency overhead, in microseconds — the metric
-    /// the paper's latency figures plot.
-    pub fn latency_overhead_us(&self) -> f64 {
-        self.totals.latency.as_us_f64() / self.procs() as f64
-    }
-
-    /// Mean per-processor contention overhead, in microseconds.
-    pub fn contention_overhead_us(&self) -> f64 {
-        self.totals.contention.as_us_f64() / self.procs() as f64
-    }
-
-    /// Execution time in microseconds.
-    pub fn exec_time_us(&self) -> f64 {
-        self.exec_time.as_us_f64()
-    }
-}
-
-#[derive(Debug)]
-enum Ev {
-    /// Handle a processor's request at its issue time.
-    Dispatch(usize, MemReq),
-    /// An operation completes: apply its effect and resume the processor.
-    Commit(usize, Action),
-    /// An explicit message arrives at its destination's mailbox.
-    /// `drops` counts how many times this delivery has already been
-    /// dropped in flight (bounds injected message loss).
-    Deliver {
-        dst: usize,
-        tag: u64,
-        value: u64,
-        drops: u32,
-    },
-}
-
-#[derive(Debug)]
-enum Action {
-    Compute,
-    Read(Addr),
-    Write(Addr, u64),
-    Rmw(Addr, RmwOp),
-    Check(Addr, Pred),
-    Sent,
-    Received(u64),
-}
-
-/// Arena for in-flight events. The queue orders bare `u32` slot ids (so
-/// its internal moves, sorts, and bucket redistributions shuffle 4-byte
-/// handles, not full [`Ev`] payloads); the payloads themselves sit in the
-/// slab until popped. Freed slots are recycled LIFO, keeping the live
-/// working set dense.
-#[derive(Debug, Default)]
-struct EvSlab {
-    slots: Vec<Option<Ev>>,
-    free: Vec<u32>,
-}
-
-impl EvSlab {
-    #[inline]
-    fn alloc(&mut self, ev: Ev) -> u32 {
-        match self.free.pop() {
-            Some(id) => {
-                debug_assert!(self.slots[id as usize].is_none());
-                self.slots[id as usize] = Some(ev);
-                id
-            }
-            None => {
-                let id = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight events");
-                self.slots.push(Some(ev));
-                id
-            }
-        }
-    }
-
-    #[inline]
-    fn take(&mut self, id: u32) -> Ev {
-        let ev = self.slots[id as usize]
-            .take()
-            .expect("popped id names a live event");
-        self.free.push(id);
-        ev
-    }
-}
-
-/// Drives application processes over a machine model.
-///
-/// See the crate-level example. The engine owns the coroutine pool, the
-/// event queue, the value store, and the machine model; [`Engine::run`]
-/// consumes events to completion and produces a [`RunReport`].
-pub struct Engine {
-    pool: CoroPool<MemReq, MemResp>,
-    model: Model,
-    amap: AddressMap,
-    store: ValueStore,
-    events: EventQueue<u32>,
-    slab: EvSlab,
-    /// word index → processors spin-waiting on that word.
-    watchers: FxHashMap<u64, Vec<(usize, Pred)>>,
-    region_traffic: FxHashMap<&'static str, Buckets>,
-    /// (receiver, tag) → arrived-but-unconsumed message payloads, FIFO.
-    mailboxes: FxHashMap<(usize, u64), std::collections::VecDeque<u64>>,
-    /// Per-processor pending blocking receive (tag), if any.
-    recv_wait: Vec<Option<u64>>,
-    wait_start: Vec<Option<SimTime>>,
-    stats: Vec<ProcStats>,
-    live: usize,
-    now: SimTime,
-    budget: RunBudget,
-    injector: Option<FaultInjector>,
-    checker: Option<EngineChecker>,
-    telemetry: Option<Collector>,
-    processed: u64,
-}
-
-impl fmt::Debug for Engine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Engine")
-            .field("kind", &self.model.kind())
-            .field("procs", &self.stats.len())
-            .field("now", &self.now)
-            .finish_non_exhaustive()
-    }
-}
+/// How often (in popped events) the cooperative cancellation probe is
+/// polled. Cheap enough to keep the hot loop unaffected, frequent enough
+/// that a budgeted job dies within a fraction of a millisecond of wall
+/// time.
+const CANCEL_POLL_EVENTS: u64 = 1024;
 
 impl Engine {
-    /// Builds an engine with the default [`MachineConfig`].
-    pub fn new(kind: MachineKind, topo: &Topology, setup: SetupCtx, bodies: Vec<ProcBody>) -> Self {
-        Engine::with_config(kind, topo, MachineConfig::default(), setup, bodies)
-    }
-
-    /// Builds an engine with an explicit machine configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of bodies does not match the topology size or
-    /// the setup's node count.
-    pub fn with_config(
-        kind: MachineKind,
-        topo: &Topology,
-        config: MachineConfig,
-        setup: SetupCtx,
-        bodies: Vec<ProcBody>,
-    ) -> Self {
-        let p = topo.nodes();
-        assert_eq!(bodies.len(), p, "one body per processor");
-        assert_eq!(setup.nodes(), p, "setup sized for a different machine");
-        let (amap, store) = setup.into_parts();
-        let wrapped: Vec<_> = bodies
-            .into_iter()
-            .enumerate()
-            .map(|(id, body)| {
-                move |proc: usize, ctx: &CoroCtx<MemReq, MemResp>| {
-                    debug_assert_eq!(proc, id);
-                    body(proc, ctx)
-                }
-            })
-            .collect();
-        Engine {
-            pool: CoroPool::from_bodies(wrapped),
-            model: Model::new(kind, topo, config),
-            amap,
-            store,
-            events: EventQueue::new(),
-            slab: EvSlab::default(),
-            watchers: FxHashMap::default(),
-            region_traffic: FxHashMap::default(),
-            mailboxes: FxHashMap::default(),
-            recv_wait: vec![None; p],
-            wait_start: vec![None; p],
-            stats: vec![ProcStats::default(); p],
-            live: p,
-            now: SimTime::ZERO,
-            budget: config.budget,
-            injector: config
-                .faults
-                .filter(|f| f.is_active())
-                .map(FaultInjector::new),
-            checker: config
-                .check
-                .enabled()
-                .then(|| EngineChecker::new(config.check)),
-            telemetry: config.telemetry.map(Collector::new),
-            processed: 0,
-        }
-    }
-
-    /// Samples the monotone counters the telemetry deltas derive from.
-    /// Only called at bucket boundaries, so the O(procs) sweep is off the
-    /// per-event path.
-    fn telemetry_snapshot(&self) -> Snapshot {
-        let mut busy = SimTime::ZERO;
-        let mut mem = SimTime::ZERO;
-        let mut comm = SimTime::ZERO;
-        let mut sync = SimTime::ZERO;
-        for s in &self.stats {
-            busy += s.buckets.busy;
-            mem += s.buckets.mem;
-            comm += s.buckets.latency + s.buckets.contention + s.buckets.dir_wait;
-            sync += s.buckets.sync;
-        }
-        let summary = self.model.summary(self.stats.len());
-        Snapshot {
-            busy_ns: busy.as_ns(),
-            mem_ns: mem.as_ns(),
-            comm_ns: comm.as_ns(),
-            sync_ns: sync.as_ns(),
-            cache_hits: summary.cache_hits,
-            cache_misses: summary.cache_misses,
-            faults: self.injector.as_ref().map_or(0, |i| i.counters.total()),
-        }
-    }
-
     /// Runs the simulation to completion.
     ///
     /// # Errors
@@ -378,9 +34,11 @@ impl Engine {
     /// Returns [`RunError::Panicked`] if application code panics,
     /// [`RunError::Deadlock`] if all remaining processors are blocked on
     /// waits that can never be satisfied, [`RunError::BudgetExceeded`]
-    /// when a configured [`RunBudget`] trips (the only way a *livelock* —
-    /// e.g. a polling spin whose flag never flips — terminates), and the
-    /// remaining variants for malformed requests.
+    /// when a configured [`crate::RunBudget`] trips (the only way a
+    /// *livelock* — e.g. a polling spin whose flag never flips —
+    /// terminates), [`RunError::Cancelled`] when an installed probe asks
+    /// the run to stop, and the remaining variants for malformed
+    /// requests.
     pub fn run(&mut self) -> Result<RunReport, RunError> {
         let wall_start = Instant::now();
         let p = self.stats.len();
@@ -410,6 +68,12 @@ impl Engine {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.processed += 1;
+            if self.processed.is_multiple_of(CANCEL_POLL_EVENTS) && self.poll_cancelled() {
+                return Err(RunError::Cancelled {
+                    at: self.now,
+                    events: self.processed,
+                });
+            }
             if let Some(mut tele) = self.telemetry.take() {
                 if tele.boundary_crossed(t) {
                     let snapshot = self.telemetry_snapshot();
@@ -496,6 +160,7 @@ impl Engine {
                 waiting,
             });
         }
+        self.spec_run_end()?;
         if let Some(chk) = &mut self.checker {
             let (duplicates, retransmits) = self
                 .injector
@@ -550,15 +215,26 @@ impl Engine {
                 .map(|i| i.counters)
                 .unwrap_or_default(),
             telemetry,
+            spec: self.spec.as_ref().map(|s| s.stats).unwrap_or_default(),
             wall: wall_start.elapsed(),
         })
     }
 
-    /// Allocates a slab slot for `ev` and schedules it at `at`.
+    /// Polls the cooperative cancellation probe, if one is installed.
     #[inline]
-    fn push_ev(&mut self, at: SimTime, ev: Ev) {
-        let id = self.slab.alloc(ev);
-        self.events.push(at, id);
+    pub(super) fn poll_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|probe| probe())
+    }
+
+    /// Schedules a commit for `proc` at `at` and offers it to the
+    /// optimistic layer as a speculation opportunity (a no-op under
+    /// [`super::EngineMode::Sequential`]).
+    #[inline]
+    fn sched_commit(&mut self, at: SimTime, proc: usize, action: Action) {
+        self.push_ev(at, Ev::Commit(proc, action));
+        if self.spec.is_some() {
+            self.consider_speculation(proc, action);
+        }
     }
 
     fn dispatch(&mut self, proc: usize, req: MemReq) -> Result<(), RunError> {
@@ -568,23 +244,23 @@ impl Engine {
             MemReq::Compute { cycles } => {
                 let dur = SimTime::from_ns(cycles * CYCLE_NS);
                 self.stats[proc].buckets.busy += dur;
-                self.push_ev(now + dur, Ev::Commit(proc, Action::Compute));
+                self.sched_commit(now + dur, proc, Action::Compute);
             }
             MemReq::Read { addr } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Read)?;
-                self.push_ev(finish, Ev::Commit(proc, Action::Read(addr)));
+                self.sched_commit(finish, proc, Action::Read(addr));
             }
             MemReq::Write { addr, value } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Write)?;
-                self.push_ev(finish, Ev::Commit(proc, Action::Write(addr, value)));
+                self.sched_commit(finish, proc, Action::Write(addr, value));
             }
             MemReq::Rmw { addr, op } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Write)?;
-                self.push_ev(finish, Ev::Commit(proc, Action::Rmw(addr, op)));
+                self.sched_commit(finish, proc, Action::Rmw(addr, op));
             }
             MemReq::WaitUntil { addr, pred } => {
                 let finish = self.priced_access(proc, addr, AccessKind::Read)?;
-                self.push_ev(finish, Ev::Commit(proc, Action::Check(addr, pred)));
+                self.sched_commit(finish, proc, Action::Check(addr, pred));
             }
             MemReq::Send {
                 dst,
@@ -621,7 +297,7 @@ impl Engine {
                 if let Some(chk) = &mut self.checker {
                     chk.on_send(dst, tag, cost.delivered, delivered, copies)?;
                 }
-                self.push_ev(cost.sender_free, Ev::Commit(proc, Action::Sent));
+                self.sched_commit(cost.sender_free, proc, Action::Sent);
                 for _ in 0..copies {
                     self.push_ev(
                         delivered,
@@ -642,7 +318,7 @@ impl Engine {
                 {
                     // Message already arrived: charge the receive handoff.
                     let finish = self.now + SimTime::from_ns(CYCLE_NS);
-                    self.push_ev(finish, Ev::Commit(proc, Action::Received(value)));
+                    self.sched_commit(finish, proc, Action::Received(value));
                 } else {
                     if self.recv_wait[proc].is_some() {
                         return Err(RunError::BadRequest {
@@ -705,29 +381,30 @@ impl Engine {
     }
 
     fn commit(&mut self, proc: usize, action: Action) -> Result<(), RunError> {
+        self.spec_on_commit_event();
         match action {
-            Action::Compute => self.resume(proc, MemResp::Ack),
+            Action::Compute => self.deliver_resume(proc, MemResp::Ack),
             Action::Read(addr) => {
                 let v = self.store.read_word(addr);
-                self.resume(proc, MemResp::Value(v))
+                self.deliver_resume(proc, MemResp::Value(v))
             }
             Action::Write(addr, value) => {
                 self.store.write_word(addr, value);
                 self.wake_watchers(addr);
-                self.resume(proc, MemResp::Ack)
+                self.deliver_resume(proc, MemResp::Ack)
             }
             Action::Rmw(addr, op) => {
                 let old = self.store.read_word(addr);
                 self.store.write_word(addr, op.apply(old));
                 self.wake_watchers(addr);
-                self.resume(proc, MemResp::Value(old))
+                self.deliver_resume(proc, MemResp::Value(old))
             }
-            Action::Sent => self.resume(proc, MemResp::Ack),
+            Action::Sent => self.deliver_resume(proc, MemResp::Ack),
             Action::Received(value) => {
                 if let Some(start) = self.wait_start[proc].take() {
                     self.stats[proc].buckets.sync += self.now - start;
                 }
-                self.resume(proc, MemResp::Value(value))
+                self.deliver_resume(proc, MemResp::Value(value))
             }
             Action::Check(addr, pred) => {
                 let v = self.store.read_word(addr);
@@ -735,7 +412,7 @@ impl Engine {
                     if let Some(start) = self.wait_start[proc].take() {
                         self.stats[proc].buckets.sync += self.now - start;
                     }
-                    self.resume(proc, MemResp::Value(v))
+                    self.deliver_resume(proc, MemResp::Value(v))
                 } else {
                     if self.wait_start[proc].is_none() {
                         self.wait_start[proc] = Some(self.now);
@@ -758,6 +435,20 @@ impl Engine {
                     Ok(())
                 }
             }
+        }
+    }
+
+    /// The seam between the two engine modes: hands the committed
+    /// response to the processor. Sequentially that is a synchronous
+    /// resume; optimistically the response may already have been
+    /// delivered speculatively, in which case the commit either confirms
+    /// it (and merely collects the next request) or refutes it (and
+    /// rolls the processor back before redelivering).
+    fn deliver_resume(&mut self, proc: usize, resp: MemResp) -> Result<(), RunError> {
+        if self.spec.is_some() {
+            self.commit_speculative(proc, resp)
+        } else {
+            self.resume(proc, resp)
         }
     }
 
@@ -787,9 +478,23 @@ impl Engine {
         }
     }
 
-    fn resume(&mut self, proc: usize, resp: MemResp) -> Result<(), RunError> {
-        match self.pool.resume(proc, resp) {
+    /// Synchronously delivers `resp` and handles the processor's next
+    /// step. Records the delivery in the replay history when running
+    /// optimistically.
+    pub(super) fn resume(&mut self, proc: usize, resp: MemResp) -> Result<(), RunError> {
+        self.record_resp(proc, resp);
+        let step = self.pool.resume(proc, resp);
+        self.handle_step(proc, step)
+    }
+
+    /// Consumes one coroutine step in committed order: dispatches the
+    /// next request (drawing any injected stall *here*, so both engine
+    /// modes consume the fault stream at identical points), retires a
+    /// finished processor, or surfaces a panic.
+    pub(super) fn handle_step(&mut self, proc: usize, step: Step<MemReq>) -> Result<(), RunError> {
+        match step {
             Step::Request(req) => {
+                self.record_req(proc, req);
                 // Injected stall window: the node pauses (an OS interrupt,
                 // a slow board) before its next operation dispatches. The
                 // wait is charged as synchronization-like idle time.
@@ -809,6 +514,7 @@ impl Engine {
             Step::Done => {
                 self.stats[proc].finish = self.now;
                 self.live -= 1;
+                self.spec_on_done(proc);
                 Ok(())
             }
             Step::Panicked(message) => Err(RunError::Panicked { proc, message }),

@@ -96,6 +96,14 @@ pub struct FaultPlan {
     pub retry_prob: f64,
     /// Maximum forced retries per transaction.
     pub max_retries: u32,
+    /// Probability that the optimistic engine *loses* the anti-message
+    /// that should annihilate a refuted speculation — the rollback still
+    /// runs, but its annihilation record is forged away. This is a fault
+    /// against the speculation ledger itself, so it only perturbs the
+    /// `optimistic` engine mode, and it draws from its own decision
+    /// stream (see [`FaultInjector`]) so enabling it never shifts the
+    /// network/stall/retry draw sequence.
+    pub anti_loss_prob: f64,
 }
 
 impl FaultPlan {
@@ -114,6 +122,7 @@ impl FaultPlan {
             stall_ns: 0,
             retry_prob: 0.0,
             max_retries: 0,
+            anti_loss_prob: 0.0,
         }
     }
 
@@ -134,6 +143,11 @@ impl FaultPlan {
             stall_ns: 5_000,
             retry_prob: 0.10,
             max_retries: 1,
+            // Not an execution fault: forged anti-message loss corrupts
+            // the speculation ledger, so it stays out of the standard
+            // adversarial mix (the equivalence suite runs this plan on
+            // both engines and expects identical, *valid* results).
+            anti_loss_prob: 0.0,
         }
     }
 
@@ -153,6 +167,7 @@ impl FaultPlan {
             || self.loss_prob > 0.0
             || self.stall_prob > 0.0
             || self.retry_prob > 0.0
+            || self.anti_loss_prob > 0.0
     }
 }
 
@@ -169,20 +184,33 @@ pub struct FaultCounters {
     pub stalls: u64,
     /// Coherence/memory transactions forced to retry.
     pub retries: u64,
+    /// Anti-messages forged away (speculation-ledger fault; optimistic
+    /// engine only).
+    pub anti_losses: u64,
 }
 
 impl FaultCounters {
     /// Total faults of all classes.
     pub fn total(&self) -> u64 {
-        self.delayed + self.duplicated + self.retransmits + self.stalls + self.retries
+        self.delayed
+            + self.duplicated
+            + self.retransmits
+            + self.stalls
+            + self.retries
+            + self.anti_losses
     }
 }
+
+/// Salt separating the anti-message-loss decision stream from the main
+/// fault stream, so the ledger fault never shifts execution-fault draws.
+const ANTI_STREAM_SALT: u64 = 0xA27B_5D14_93E6_0C48;
 
 /// The engine-side fault roller: owns the decision stream and counters.
 #[derive(Debug)]
 pub(crate) struct FaultInjector {
     plan: FaultPlan,
     rng: SplitMix64,
+    anti_rng: SplitMix64,
     pub(crate) counters: FaultCounters,
 }
 
@@ -191,6 +219,7 @@ impl FaultInjector {
         FaultInjector {
             plan,
             rng: SplitMix64::new(plan.seed),
+            anti_rng: SplitMix64::new(plan.seed ^ ANTI_STREAM_SALT),
             counters: FaultCounters::default(),
         }
     }
@@ -247,6 +276,19 @@ impl FaultInjector {
         }
     }
 
+    /// Whether to forge away the anti-message for a refuted speculation.
+    /// Draws from the dedicated anti-message stream — each rollback
+    /// consumes exactly one draw regardless of the other knobs, so the
+    /// main fault stream stays bit-identical with this knob on or off.
+    pub(crate) fn anti_message_loss(&mut self) -> bool {
+        let lost =
+            self.plan.anti_loss_prob > 0.0 && self.anti_rng.gen_f64() < self.plan.anti_loss_prob;
+        if lost {
+            self.counters.anti_losses += 1;
+        }
+        lost
+    }
+
     /// Number of forced retries for a network-touching transaction.
     pub(crate) fn coherence_retries(&mut self) -> u32 {
         if self.plan.max_retries == 0 || !self.roll(self.plan.retry_prob) {
@@ -271,6 +313,7 @@ mod tests {
             assert!(inj.message_loss(0).is_none());
             assert!(inj.stall().is_none());
             assert_eq!(inj.coherence_retries(), 0);
+            assert!(!inj.anti_message_loss());
         }
         assert_eq!(inj.counters.total(), 0);
         assert!(!FaultPlan::quiet(7).is_active());
@@ -345,6 +388,37 @@ mod tests {
             let d = inj.message_delay().unwrap();
             assert!(d >= SimTime::from_ns(1) && d <= SimTime::from_ns(10));
         }
+    }
+
+    #[test]
+    fn anti_loss_draws_from_its_own_stream() {
+        // The main-stream decisions must be bit-identical whether or not
+        // anti-message losses are being rolled in between them.
+        let decisions = |anti: bool| {
+            let plan = FaultPlan {
+                anti_loss_prob: 1.0,
+                ..FaultPlan::adversarial(11)
+            };
+            let mut inj = FaultInjector::new(plan);
+            (0..256)
+                .map(|_| {
+                    if anti {
+                        assert!(inj.anti_message_loss());
+                    }
+                    (inj.message_delay(), inj.duplicate(), inj.stall())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(false), decisions(true));
+        let plan = FaultPlan {
+            anti_loss_prob: 0.5,
+            ..FaultPlan::quiet(3)
+        };
+        assert!(plan.is_active());
+        let mut inj = FaultInjector::new(plan);
+        let hits = (0..1000).filter(|_| inj.anti_message_loss()).count();
+        assert!(hits > 300 && hits < 700, "{hits} losses in 1000 rolls");
+        assert_eq!(inj.counters.anti_losses, hits as u64);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Property-based certification of the snapshot machinery the optimistic
+//! engine's rollback path stands on: `save`/`restore` on the coherence
+//! state machine (per-node caches plus the directory).
+//!
+//! Three laws are checked over testkit-generated mutation sequences, under
+//! both coherence protocols:
+//!
+//! 1. `restore(save(s)) == s` — restoring reverts *every* component, no
+//!    matter what ran in between;
+//! 2. rollback past K events then replaying the same K events
+//!    reconstructs the identical state (hash *and* per-access outcomes) —
+//!    the exact contract the optimistic engine's replay relies on;
+//! 3. an access perturbs only the components its outcome names — no
+//!    hidden coupling that a snapshot could miss.
+//!
+//! Failures shrink (testkit halves and drops ops from the generated
+//! sequence) and every comparison goes through [`first_divergence`], so a
+//! shrunk counterexample names the first diverging field — `cache[n]` or
+//! `directory` — rather than an opaque whole-state hash mismatch.
+
+use spasm_cache::{AccessKind, CacheConfig, CoherenceController, Outcome, ProtocolKind, Supplier};
+use spasm_testkit::{check_with, gens, prop_assert, prop_assert_eq, Config, Gen};
+
+/// Nodes in the generated machine.
+const NODES: usize = 4;
+/// Block-address universe: small enough that generated sequences collide
+/// in sets and evict (the cache below holds 8 lines), large enough to
+/// exercise the directory's growth path.
+const BLOCKS: u64 = 24;
+
+/// A deliberately tiny cache — 4 sets × 2 ways — so short generated
+/// sequences reach the interesting transitions: evictions, writebacks,
+/// cache-to-cache supply, invalidation storms.
+fn tiny_cache() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 256,
+        assoc: 2,
+        block_bytes: 32,
+    }
+}
+
+/// One generated access: (node, block, write?).
+type RawOp = (u32, u64, u32);
+
+fn decode(op: RawOp) -> (usize, u64, AccessKind) {
+    let (node, block, kind) = op;
+    let kind = if kind == 0 {
+        AccessKind::Read
+    } else {
+        AccessKind::Write
+    };
+    (node as usize % NODES, block % BLOCKS, kind)
+}
+
+fn protocol_of(flag: u32) -> ProtocolKind {
+    if flag == 0 {
+        ProtocolKind::Berkeley
+    } else {
+        ProtocolKind::WriteBackOnRead
+    }
+}
+
+/// A mutation sequence plus a protocol selector.
+fn sequences() -> Gen<(Vec<RawOp>, u32)> {
+    let op = gens::tuple3(
+        gens::u32s(0..NODES as u32),
+        gens::u64s(0..BLOCKS),
+        gens::u32s(0..2),
+    );
+    gens::tuple2(gens::vecs(op, 1..48), gens::u32s(0..2))
+}
+
+fn apply(c: &mut CoherenceController, ops: &[RawOp]) -> Vec<Outcome> {
+    ops.iter()
+        .map(|&op| {
+            let (node, block, kind) = decode(op);
+            c.access(node, block, kind)
+        })
+        .collect()
+}
+
+/// Per-component digests: one per cache, one for the directory. Named so
+/// divergence reports localize to a field.
+fn component_hashes(c: &CoherenceController) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = (0..c.nodes())
+        .map(|n| (format!("cache[{n}]"), c.cache(n).state_hash()))
+        .collect();
+    v.push(("directory".to_string(), c.directory().state_hash()));
+    v
+}
+
+/// The first component whose digest differs between two states, if any.
+fn first_divergence(a: &[(String, u64)], b: &[(String, u64)]) -> Option<String> {
+    a.iter()
+        .zip(b)
+        .find(|((_, ha), (_, hb))| ha != hb)
+        .map(|((name, _), _)| name.clone())
+}
+
+/// Law 1: restore reverts every component, regardless of what ran between
+/// save and restore. The sequence is split in half: the prefix builds an
+/// arbitrary warm state, the suffix is the speculation to be undone.
+#[test]
+fn restore_reverts_every_component() {
+    check_with(
+        Config::default(),
+        "restore_reverts_every_component",
+        &sequences(),
+        |(ops, proto)| {
+            let mut c =
+                CoherenceController::with_protocol(NODES, tiny_cache(), protocol_of(*proto));
+            let split = ops.len() / 2;
+            apply(&mut c, &ops[..split]);
+            let snap = c.save();
+            let at_save = component_hashes(&c);
+            let whole = c.state_hash();
+            apply(&mut c, &ops[split..]);
+            c.restore(&snap);
+            prop_assert_eq!(
+                first_divergence(&component_hashes(&c), &at_save),
+                None,
+                "restore failed to revert this component"
+            );
+            prop_assert_eq!(c.state_hash(), whole, "aggregate hash diverged");
+            Ok(())
+        },
+    );
+}
+
+/// Law 2: the optimistic engine's replay contract. Restoring a snapshot
+/// taken K events back and re-applying the identical K events must land
+/// on the identical state *and* reproduce the identical outcomes — replay
+/// is not merely convergent, it is exact.
+#[test]
+fn rollback_replay_reconstructs_state_exactly() {
+    check_with(
+        Config::default(),
+        "rollback_replay_reconstructs_state_exactly",
+        &sequences(),
+        |(ops, proto)| {
+            let proto = protocol_of(*proto);
+            // Straight-line reference run.
+            let mut reference = CoherenceController::with_protocol(NODES, tiny_cache(), proto);
+            let ref_outcomes = apply(&mut reference, ops);
+            let ref_components = component_hashes(&reference);
+
+            // Rolled-back run: save K events before the end, run to the
+            // end (the doomed speculation), roll back, replay.
+            let k = ops.len() - ops.len() / 3;
+            let mut c = CoherenceController::with_protocol(NODES, tiny_cache(), proto);
+            let prefix_outcomes = apply(&mut c, &ops[..k]);
+            let snap = c.save();
+            apply(&mut c, &ops[k..]);
+            c.restore(&snap);
+            let replay_outcomes = apply(&mut c, &ops[k..]);
+
+            prop_assert_eq!(
+                first_divergence(&component_hashes(&c), &ref_components),
+                None,
+                "replay after rollback diverged from the straight-line run"
+            );
+            let mut rolled = prefix_outcomes;
+            rolled.extend(replay_outcomes);
+            prop_assert_eq!(&rolled, &ref_outcomes, "replayed outcomes diverged");
+            Ok(())
+        },
+    );
+}
+
+/// Law 3: an access perturbs only the components its outcome names — the
+/// accessor's cache, the caches the outcome says were invalidated or
+/// supplied/downgraded from, and the directory. Anything outside that set
+/// must hash identically before and after. This is what makes component
+/// snapshots trustworthy: there is no hidden cross-component coupling.
+#[test]
+fn access_perturbs_only_named_components() {
+    let gen = gens::tuple2(
+        sequences(),
+        gens::tuple3(
+            gens::u32s(0..NODES as u32),
+            gens::u64s(0..BLOCKS),
+            gens::u32s(0..2),
+        ),
+    );
+    check_with(
+        Config::default(),
+        "access_perturbs_only_named_components",
+        &gen,
+        |((ops, proto), probe)| {
+            let mut c =
+                CoherenceController::with_protocol(NODES, tiny_cache(), protocol_of(*proto));
+            apply(&mut c, ops);
+            let before = component_hashes(&c);
+            let (node, block, kind) = decode(*probe);
+            let outcome = c.access(node, block, kind);
+            let after = component_hashes(&c);
+
+            // Upper bound on what this outcome is allowed to touch.
+            let mut allowed = vec![format!("cache[{node}]"), "directory".to_string()];
+            match &outcome {
+                Outcome::Hit => {}
+                Outcome::UpgradeHit { invalidated } => {
+                    allowed.extend(invalidated.iter().map(|n| format!("cache[{n}]")));
+                }
+                Outcome::Miss {
+                    supplier,
+                    invalidated,
+                    downgrade_writeback,
+                    ..
+                } => {
+                    allowed.extend(invalidated.iter().map(|n| format!("cache[{n}]")));
+                    if let Supplier::Owner(o) = supplier {
+                        allowed.push(format!("cache[{o}]"));
+                    }
+                    if let Some(wb) = downgrade_writeback {
+                        allowed.push(format!("cache[{}]", wb.from));
+                    }
+                }
+            }
+            for ((name, ha), (_, hb)) in before.iter().zip(&after) {
+                if ha != hb {
+                    prop_assert!(
+                        allowed.contains(name),
+                        "{name} changed but outcome {outcome:?} does not name it"
+                    );
+                }
+            }
+            // The accessor's own cache always records the access (at
+            // minimum its hit/miss counters move).
+            prop_assert!(
+                before[node].1 != after[node].1,
+                "cache[{node}] made an access yet its state hash is unchanged"
+            );
+            Ok(())
+        },
+    );
+}

@@ -2,8 +2,9 @@
 # Bench regression gate: re-run the wall-clock benches and compare
 # min-wall (min_ns) per row against the committed baselines at the repo
 # root (BENCH_sim_speed.json, BENCH_coherence_micro.json,
-# BENCH_exec_speed.json, BENCH_scenario_speed.json). Fails if any
-# timing row regresses more than the tolerance.
+# BENCH_exec_speed.json, BENCH_scenario_speed.json,
+# BENCH_timewarp_speed.json). Fails if any timing row regresses more
+# than the tolerance.
 #
 # Usage:
 #   scripts/bench_compare.sh            # full gate: default iters, 10%
@@ -24,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES=(sim_speed coherence_micro exec_speed scenario_speed)
+BENCHES=(sim_speed coherence_micro exec_speed scenario_speed timewarp_speed)
 RUN=1
 SMOKE=0
 for arg in "$@"; do
@@ -80,7 +81,7 @@ for b in "${BENCHES[@]}"; do
             continue
         fi
         delta=$(awk -v b="$base_min" -v c="$cur" \
-            'BEGIN { printf "%+.1f%%", (c - b) * 100.0 / b }')
+            'BEGIN { if (b == 0) printf (c == 0 ? "=" : "new"); else printf "%+.1f%%", (c - b) * 100.0 / b }')
         mark=""
         if [ "$base_iters" -eq 1 ]; then
             mark="  (gauge, not gated)"

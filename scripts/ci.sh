@@ -56,6 +56,27 @@ timeout 60 ./target/release/figures \
     --figure F12 --size test --procs 2,4 --check --jobs 2 \
     --budget-events 50000000 > /dev/null
 
+# Optimistic tier: the Time Warp engine must be a pure scheduling
+# decision. The same figure runs under --engine optimistic:4 with the
+# strict checkers on (rollback purity and annihilation accounting are
+# invariants, not best effort), and its stdout must be byte-identical
+# to the sequential engine's.
+echo "==> figures --engine optimistic:4 --strict-check == sequential (60s watchdog)"
+odir=$(mktemp -d)
+trap 'rm -rf "$odir"' EXIT
+timeout 60 ./target/release/figures \
+    --figure F3 --size test --procs 2,4 --serial --strict-check \
+    --budget-events 50000000 > "$odir/seq.out"
+timeout 60 ./target/release/figures \
+    --figure F3 --size test --procs 2,4 --serial --strict-check \
+    --engine optimistic:4 --budget-events 50000000 > "$odir/opt.out"
+if ! diff "$odir/seq.out" "$odir/opt.out"; then
+    echo "ERROR: optimistic engine stdout differs from sequential" >&2
+    exit 1
+fi
+rm -rf "$odir"
+trap - EXIT
+
 # Fault-negative: under a hostile fault plan the strict checker MUST
 # fire (nonzero exit naming an invariant); a quiet pass here would mean
 # the checker is wired to nothing.
