@@ -508,6 +508,9 @@ fn run_shard(args: &Args, sweep: &SweepConfig, shard: ShardSpec) -> ExitCode {
             eprintln!("{}: journal {jpath} stopped persisting: {e}", spec.id);
             worst = worst.max(EXIT_IO);
         }
+        if let Some(w) = journal.dir_sync_warning() {
+            eprintln!("{}: warning: {w}", spec.id);
+        }
         if report.failed > 0 {
             worst = worst.max(EXIT_SALVAGED);
         }
@@ -705,6 +708,9 @@ fn main() -> ExitCode {
                      results are complete in memory but will re-run on resume",
                     spec.id
                 );
+            }
+            if let Some(w) = journal.dir_sync_warning() {
+                eprintln!("{}: warning: {w}", spec.id);
             }
             total_busy += fresh_busy;
             data

@@ -1,0 +1,851 @@
+//! Deterministic crash-consistency harness: exhaustive I/O crash-point
+//! exploration, scripted fault campaigns, and failure shrinking.
+//!
+//! The harness runs entire journaled sweeps against the in-memory
+//! [`FaultVfs`] and holds every outcome to one oracle, the **recovery
+//! oracle**: after any scripted sequence of torn writes, short writes,
+//! `ENOSPC`, dropped fsyncs, failed renames, and power cuts, a resumed
+//! sweep must either
+//!
+//! 1. render the figure **byte-identically** to the uninterrupted
+//!    reference run ([`CrashVerdict::Identical`]), or
+//! 2. refuse with a **typed error naming the corruption**
+//!    ([`CrashVerdict::Refused`]).
+//!
+//! Anything else — a run that completes but renders different bytes —
+//! is silent divergence ([`ChaosError::Divergence`]) and fails the
+//! harness.
+//!
+//! Three drivers sit on top of the oracle:
+//!
+//! - [`explore_crash_points`] is exhaustive: it records the I/O
+//!   operation trace of a reference sweep, then re-runs the sweep once
+//!   per operation index with a crash injected there (plus a
+//!   dropped-fsync × delayed-crash grid that manufactures torn files).
+//! - [`run_campaign`] fuzzes random multi-fault scripts across four
+//!   failure families: the plain journal, a sharded fleet with merge,
+//!   deadline-cut sweeps resumed without the deadline, and the
+//!   optimistic engine under an anti-message-loss [`FaultPlan`].
+//! - [`shrink_demo`] shows the [`spasm_testkit`] shrinker reducing a
+//!   many-entry failing script to a minimal reproducer.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spasm_apps::SizeClass;
+use spasm_journal::{Fault, FaultScript, FaultVfs, TraceEntry, Vfs, VfsOpKind};
+use spasm_machine::{CheckMode, EngineMode, FaultPlan};
+use spasm_testkit::{gens, minimize, Gen, TestRng};
+
+use crate::figures::{self, FigureSpec};
+use crate::journal::SweepJournal;
+use crate::shard::{merge_shards_with, ShardSpec};
+use crate::sweep::{run_figure_journaled, run_figure_shard, FigureData, SweepConfig};
+
+/// One figure sweep pinned down tightly enough for byte-identity
+/// comparisons: the figure, its size class, processor counts, seed, and
+/// the [`SweepConfig`] used for *recovery* runs (victim runs may use a
+/// different, fingerprint-compatible config — see
+/// [`verify_script_with`]).
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// The figure under test.
+    pub spec: &'static FigureSpec,
+    /// Problem size class for every point.
+    pub size: SizeClass,
+    /// Processor counts swept.
+    pub procs: Vec<usize>,
+    /// Base seed for the sweep (also the default tear seed).
+    pub seed: u64,
+    /// Configuration for the reference and recovery runs.
+    pub sweep: SweepConfig,
+}
+
+impl ChaosSweep {
+    /// The smallest interesting sweep of `spec`: test size, one
+    /// processor count, default configuration. Fast enough to re-run
+    /// hundreds of times inside the crash-point explorer.
+    pub fn smoke(spec: &'static FigureSpec) -> ChaosSweep {
+        ChaosSweep {
+            spec,
+            size: SizeClass::Test,
+            procs: vec![2],
+            seed: 42,
+            sweep: SweepConfig::default(),
+        }
+    }
+
+    /// Total points the sweep simulates (every machine × every
+    /// processor count).
+    pub fn total_points(&self) -> usize {
+        self.spec.machines.len() * self.procs.len()
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        PathBuf::from(format!("/chaos/{}.journal", self.spec.id))
+    }
+}
+
+/// The byte-identity surface the recovery oracle compares: CSV, the
+/// rendered table, and the telemetry JSONL, concatenated. Two
+/// [`FigureData`] with equal renderings are indistinguishable to every
+/// downstream consumer of the tool.
+pub fn rendering(data: &FigureData) -> String {
+    format!(
+        "{}\n{}\n{}",
+        data.to_csv(),
+        data.render_table(),
+        data.to_telemetry_jsonl()
+    )
+}
+
+/// How one scripted-fault run satisfied the recovery oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashVerdict {
+    /// Recovery converged on the reference rendering, byte for byte.
+    Identical {
+        /// Points replayed from the surviving journal (the rest were
+        /// re-simulated).
+        replayed: usize,
+    },
+    /// The tool refused to resume, with a typed error naming the
+    /// corruption — loud failure, never silent divergence.
+    Refused {
+        /// The typed error's rendering.
+        error: String,
+    },
+}
+
+/// A violated oracle or a broken harness.
+#[derive(Debug, Clone)]
+pub enum ChaosError {
+    /// The cardinal sin: a faulted run recovered *and* rendered
+    /// different bytes than the reference.
+    Divergence {
+        /// The fault script that produced the divergence.
+        script: FaultScript,
+        /// What diverged, and where.
+        detail: String,
+    },
+    /// The harness itself could not complete (reference run failed,
+    /// recovery never stopped crashing, unknown figure, ...).
+    Harness(String),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Divergence { script, detail } => {
+                write!(f, "silent divergence under {script}: {detail}")
+            }
+            ChaosError::Harness(msg) => write!(f, "chaos harness error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+fn divergence(script: &FaultScript, context: &str, expected: &str, got: &str) -> ChaosError {
+    let at = match expected.lines().zip(got.lines()).position(|(a, b)| a != b) {
+        Some(n) => format!("first differing line {}", n + 1),
+        None => format!("{} vs {} bytes", expected.len(), got.len()),
+    };
+    ChaosError::Divergence {
+        script: script.clone(),
+        detail: format!("{context} diverged from the reference ({at})"),
+    }
+}
+
+/// Runs the uninterrupted reference sweep on a pristine [`FaultVfs`]
+/// and returns its rendering plus the recorded I/O operation trace —
+/// the crash-point universe [`explore_crash_points`] walks.
+pub fn run_reference(cs: &ChaosSweep) -> Result<(String, Vec<TraceEntry>), ChaosError> {
+    let fault = Arc::new(FaultVfs::pristine());
+    let vfs: Arc<dyn Vfs> = fault.clone();
+    let journal = SweepJournal::create_with(
+        vfs,
+        cs.journal_path(),
+        cs.spec,
+        cs.size,
+        &cs.procs,
+        cs.seed,
+        &cs.sweep,
+    )
+    .map_err(|e| ChaosError::Harness(format!("reference journal create failed: {e}")))?;
+    let data = run_figure_journaled(
+        cs.spec,
+        cs.size,
+        &cs.procs,
+        cs.seed,
+        cs.sweep,
+        &journal,
+        |_| {},
+    );
+    if let Some(err) = journal.io_error() {
+        return Err(ChaosError::Harness(format!(
+            "reference run hit a journal I/O error on a pristine vfs: {err}"
+        )));
+    }
+    Ok((rendering(&data), fault.trace()))
+}
+
+/// Applies the recovery oracle to one fault script: run the victim
+/// sweep under the script, then keep power-cycling and resuming until
+/// an attempt finishes without crashing, and compare its rendering to
+/// `expected`. Victim and recovery both use [`ChaosSweep::sweep`].
+pub fn verify_script(
+    cs: &ChaosSweep,
+    expected: &str,
+    script: &FaultScript,
+) -> Result<CrashVerdict, ChaosError> {
+    verify_script_with(cs, &cs.sweep, expected, script)
+}
+
+/// [`verify_script`] with a distinct victim configuration. The victim
+/// config must be fingerprint-compatible with [`ChaosSweep::sweep`]
+/// (scheduling knobs like [`SweepConfig::deadline`] are excluded from
+/// the journal fingerprint precisely so this works); when the two
+/// configs differ the uncrashed-victim identity check is skipped, since
+/// e.g. a deadline legitimately cuts points until recovery re-runs
+/// them.
+pub fn verify_script_with(
+    cs: &ChaosSweep,
+    victim: &SweepConfig,
+    expected: &str,
+    script: &FaultScript,
+) -> Result<CrashVerdict, ChaosError> {
+    let fault = Arc::new(FaultVfs::new(script.clone()));
+    let vfs: Arc<dyn Vfs> = fault.clone();
+    let path = cs.journal_path();
+
+    // Victim pass. Creation can fail under an immediate scripted fault
+    // (the tool refuses to start); that leaves nothing durable, which
+    // recovery below treats as a clean fresh start.
+    if let Ok(journal) = SweepJournal::create_with(
+        vfs.clone(),
+        &path,
+        cs.spec,
+        cs.size,
+        &cs.procs,
+        cs.seed,
+        victim,
+    ) {
+        let data = run_figure_journaled(
+            cs.spec,
+            cs.size,
+            &cs.procs,
+            cs.seed,
+            *victim,
+            &journal,
+            |_| {},
+        );
+        if !fault.crashed() && victim.deadline == cs.sweep.deadline {
+            // Non-crash faults may wreck durability, but they must
+            // never corrupt the in-memory figure of a run that was
+            // allowed to finish.
+            let got = rendering(&data);
+            if got != expected {
+                return Err(divergence(
+                    script,
+                    "the uncrashed faulted run",
+                    expected,
+                    &got,
+                ));
+            }
+        }
+    }
+
+    // Recovery loop. The op counter and the script continue across
+    // reboots, so scripted faults can hit recovery itself; each entry
+    // fires at most once, so `faults.len() + 2` restarts always reach a
+    // fault-free attempt.
+    for _ in 0..script.faults.len() + 2 {
+        fault.reboot();
+        match SweepJournal::resume_with(
+            vfs.clone(),
+            &path,
+            cs.spec,
+            cs.size,
+            &cs.procs,
+            cs.seed,
+            &cs.sweep,
+        ) {
+            Ok(journal) => {
+                let replayed = journal.replayed();
+                let data = run_figure_journaled(
+                    cs.spec,
+                    cs.size,
+                    &cs.procs,
+                    cs.seed,
+                    cs.sweep,
+                    &journal,
+                    |_| {},
+                );
+                if fault.crashed() {
+                    continue;
+                }
+                let got = rendering(&data);
+                if got == expected {
+                    return Ok(CrashVerdict::Identical { replayed });
+                }
+                return Err(divergence(script, "the recovered run", expected, &got));
+            }
+            Err(err) => {
+                if fault.crashed() {
+                    continue;
+                }
+                return Ok(CrashVerdict::Refused {
+                    error: err.to_string(),
+                });
+            }
+        }
+    }
+    Err(ChaosError::Harness(format!(
+        "recovery kept crashing past every scripted fault ({script})"
+    )))
+}
+
+/// [`verify_script`] for a sharded fleet: `shards` workers each run
+/// their slice into their own journal, the scripted faults hit whoever
+/// is doing I/O when their operation index comes up, and after recovery
+/// the shards are merged and the merged figure compared to `expected`.
+/// A worker whose journal latches a non-crash I/O error exits dirty and
+/// the whole fleet is re-run (the operator's retry loop), so the merge
+/// only happens after a fully clean pass.
+pub fn verify_shard_script(
+    cs: &ChaosSweep,
+    shards: usize,
+    expected: &str,
+    script: &FaultScript,
+) -> Result<CrashVerdict, ChaosError> {
+    let fault = Arc::new(FaultVfs::new(script.clone()));
+    let vfs: Arc<dyn Vfs> = fault.clone();
+    let dir = PathBuf::from("/chaos-shards");
+    let specs: Vec<ShardSpec> = (1..=shards)
+        .map(|i| ShardSpec::new(i, shards).expect("valid shard spec"))
+        .collect();
+
+    // Victim pass: the fleet runs worker by worker until the scripted
+    // crash (if any) takes the machine down.
+    for &shard in &specs {
+        let path = dir.join(shard.file_name(cs.spec.id));
+        if let Ok(journal) = SweepJournal::create_with(
+            vfs.clone(),
+            &path,
+            cs.spec,
+            cs.size,
+            &cs.procs,
+            cs.seed,
+            &cs.sweep,
+        ) {
+            run_figure_shard(
+                cs.spec,
+                cs.size,
+                &cs.procs,
+                cs.seed,
+                cs.sweep,
+                shard,
+                &journal,
+                |_| {},
+            );
+        }
+        if fault.crashed() {
+            break;
+        }
+    }
+
+    'attempt: for _ in 0..script.faults.len() + 3 {
+        fault.reboot();
+        let mut replayed = 0usize;
+        for &shard in &specs {
+            let path = dir.join(shard.file_name(cs.spec.id));
+            match SweepJournal::resume_with(
+                vfs.clone(),
+                &path,
+                cs.spec,
+                cs.size,
+                &cs.procs,
+                cs.seed,
+                &cs.sweep,
+            ) {
+                Ok(journal) => {
+                    let report = run_figure_shard(
+                        cs.spec,
+                        cs.size,
+                        &cs.procs,
+                        cs.seed,
+                        cs.sweep,
+                        shard,
+                        &journal,
+                        |_| {},
+                    );
+                    if fault.crashed() || journal.io_error().is_some() {
+                        continue 'attempt;
+                    }
+                    replayed += report.replayed;
+                }
+                Err(err) => {
+                    if fault.crashed() {
+                        continue 'attempt;
+                    }
+                    return Ok(CrashVerdict::Refused {
+                        error: err.to_string(),
+                    });
+                }
+            }
+        }
+        let report = merge_shards_with(
+            &*fault, &dir, cs.spec, cs.size, &cs.procs, cs.seed, &cs.sweep,
+        )
+        .map_err(|err| ChaosError::Divergence {
+            script: script.clone(),
+            detail: format!("shard merge failed after a clean recovery: {err}"),
+        })?;
+        if !report.quarantined.is_empty() || report.missing_points > 0 {
+            return Err(ChaosError::Divergence {
+                script: script.clone(),
+                detail: format!(
+                    "shard merge incomplete after a clean recovery: {} quarantined, {} missing",
+                    report.quarantined.len(),
+                    report.missing_points
+                ),
+            });
+        }
+        let got = rendering(&report.data);
+        if got == expected {
+            return Ok(CrashVerdict::Identical { replayed });
+        }
+        return Err(divergence(
+            script,
+            "the merged shard figure",
+            expected,
+            &got,
+        ));
+    }
+    Err(ChaosError::Harness(format!(
+        "shard recovery kept crashing past every scripted fault ({script})"
+    )))
+}
+
+/// What the exhaustive crash-point sweep covered and concluded.
+#[derive(Debug, Clone)]
+pub struct CrashExploration {
+    /// Mutating I/O operations in the reference trace.
+    pub ops: usize,
+    /// Pure power cuts verified (one per operation index).
+    pub crash_points: usize,
+    /// Dropped-fsync × delayed-crash pairs verified (the torn-file
+    /// grid).
+    pub torn_points: usize,
+    /// Verdicts that resumed byte-identically.
+    pub identical: usize,
+    /// Verdicts that refused with a typed error.
+    pub refused: usize,
+    /// Refusals from the *pure-crash* pass specifically. The journal's
+    /// whole-file atomic-rename commit means a clean power cut always
+    /// leaves the previous fully-committed image, so this should be
+    /// zero; torn-file refusals (header destroyed by a dropped fsync)
+    /// are legitimate and excluded.
+    pub refused_pure_crash: usize,
+    /// Fewest points any identical verdict replayed.
+    pub min_replayed: usize,
+    /// Most points any identical verdict replayed.
+    pub max_replayed: usize,
+    /// Every refusal, with the script that caused it.
+    pub refusals: Vec<(FaultScript, String)>,
+}
+
+impl fmt::Display for CrashExploration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops, {} crash points + {} torn points: {} identical, {} refused \
+             ({} on pure crashes), replayed {}..={}, 0 divergent",
+            self.ops,
+            self.crash_points,
+            self.torn_points,
+            self.identical,
+            self.refused,
+            self.refused_pure_crash,
+            self.min_replayed,
+            self.max_replayed
+        )
+    }
+}
+
+/// Exhaustively explores every crash point of the reference sweep:
+/// records the I/O trace, then for each operation index `k` re-runs the
+/// sweep with a power cut at `k` and applies the recovery oracle. A
+/// second pass manufactures torn files by pairing a dropped fsync at
+/// each `SyncFile` operation with a crash up to `torn_window`
+/// operations later. Returns the coverage report, or the first
+/// divergence found — the report itself proves "zero silent
+/// divergence" over every explored point.
+pub fn explore_crash_points(
+    cs: &ChaosSweep,
+    torn_window: usize,
+) -> Result<CrashExploration, ChaosError> {
+    let (expected, trace) = run_reference(cs)?;
+    let ops = trace.len();
+    let mut report = CrashExploration {
+        ops,
+        crash_points: 0,
+        torn_points: 0,
+        identical: 0,
+        refused: 0,
+        refused_pure_crash: 0,
+        min_replayed: usize::MAX,
+        max_replayed: 0,
+        refusals: Vec::new(),
+    };
+    let tally = |report: &mut CrashExploration,
+                 script: FaultScript,
+                 verdict: CrashVerdict,
+                 pure_crash: bool| {
+        match verdict {
+            CrashVerdict::Identical { replayed } => {
+                report.identical += 1;
+                report.min_replayed = report.min_replayed.min(replayed);
+                report.max_replayed = report.max_replayed.max(replayed);
+            }
+            CrashVerdict::Refused { error } => {
+                report.refused += 1;
+                if pure_crash {
+                    report.refused_pure_crash += 1;
+                }
+                report.refusals.push((script, error));
+            }
+        }
+    };
+
+    for k in 0..ops {
+        let script = FaultScript::crash_at(k);
+        report.crash_points += 1;
+        let verdict = verify_script(cs, &expected, &script)?;
+        tally(&mut report, script, verdict, true);
+    }
+
+    for sync in trace.iter().filter(|t| t.kind == VfsOpKind::SyncFile) {
+        // A crash index equal to `ops` never fires — that pair tests
+        // the dropped fsync followed by a reboot at the very end.
+        for k in sync.index + 1..=(sync.index + torn_window).min(ops) {
+            let script = FaultScript {
+                seed: cs.seed,
+                faults: vec![(sync.index, Fault::DropSync), (k, Fault::Crash)],
+            };
+            report.torn_points += 1;
+            let verdict = verify_script(cs, &expected, &script)?;
+            tally(&mut report, script, verdict, false);
+        }
+    }
+    if report.identical == 0 {
+        report.min_replayed = 0;
+    }
+    Ok(report)
+}
+
+/// The four failure families [`run_campaign`] rotates through, in trial
+/// order.
+pub const FAMILIES: [&str; 4] = ["journal", "shard-merge", "deadline", "anti-loss"];
+
+/// Campaign dimensions: how many trials, seeded where, shrinking how
+/// hard.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master seed; every trial's script seed derives from it.
+    pub seed: u64,
+    /// Trials to run, rotating through [`FAMILIES`].
+    pub trials: usize,
+    /// Shrink-attempt budget if a trial fails.
+    pub shrink_budget: u32,
+}
+
+impl CampaignConfig {
+    /// A campaign of `trials` trials under `seed` with the default
+    /// shrink budget.
+    pub fn new(seed: u64, trials: usize) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            trials,
+            shrink_budget: 256,
+        }
+    }
+}
+
+/// A passed campaign: every trial satisfied the recovery oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignOutcome {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that resumed byte-identically.
+    pub identical: usize,
+    /// Trials that refused with a typed error.
+    pub refused: usize,
+}
+
+/// A failed campaign trial, with its shrunk minimal reproducer.
+#[derive(Debug, Clone)]
+pub struct CampaignFailure {
+    /// Which failure family the trial belonged to.
+    pub family: &'static str,
+    /// Zero-based trial index.
+    pub trial: usize,
+    /// The original randomly generated fault script.
+    pub script: FaultScript,
+    /// Why the original script failed the oracle.
+    pub detail: String,
+    /// The minimal fault script that still fails, per the shrinker.
+    pub minimized: FaultScript,
+    /// Why the minimized script fails.
+    pub minimized_detail: String,
+    /// Shrink attempts spent reaching the minimum.
+    pub shrink_steps: u32,
+}
+
+impl fmt::Display for CampaignFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} ({}) failed: {}\n  original script: {}\n  minimized to {} \
+             after {} shrink attempts: {}",
+            self.trial,
+            self.family,
+            self.detail,
+            self.script,
+            self.minimized,
+            self.shrink_steps,
+            self.minimized_detail
+        )
+    }
+}
+
+/// Every fault species, mildest first — the order the shrinker prefers.
+const FAULT_MENU: [Fault; 7] = [
+    Fault::FailDirSync,
+    Fault::FailRename,
+    Fault::Enospc,
+    Fault::ShortWrite,
+    Fault::DropSync,
+    Fault::TornWrite,
+    Fault::Crash,
+];
+
+fn script_gen(max_op: usize) -> Gen<Vec<(usize, Fault)>> {
+    gens::vecs(
+        gens::tuple2(
+            gens::usizes(0..max_op.max(1)),
+            gens::choice(FAULT_MENU.to_vec()),
+        ),
+        1..6,
+    )
+}
+
+/// Runs a fuzzing campaign: each trial draws a random multi-fault
+/// script and applies the recovery oracle in one of the [`FAMILIES`] —
+/// the plain journal, a two-shard fleet with merge, a deadline-cut
+/// victim resumed without its deadline, and the optimistic engine under
+/// an anti-message-loss [`FaultPlan::chaos`] plan. On the first oracle
+/// violation the failing script is shrunk to a minimal reproducer and
+/// returned as a [`CampaignFailure`].
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, Box<CampaignFailure>> {
+    let harness_failure = |family, trial, script: &FaultScript, detail: String| {
+        Box::new(CampaignFailure {
+            family,
+            trial,
+            script: script.clone(),
+            detail: detail.clone(),
+            minimized: script.clone(),
+            minimized_detail: detail,
+            shrink_steps: 0,
+        })
+    };
+    let spec = match figures::by_id("F1") {
+        Some(spec) => spec,
+        None => {
+            let empty = FaultScript::default();
+            return Err(harness_failure(
+                "journal",
+                0,
+                &empty,
+                "figure F1 is not registered".into(),
+            ));
+        }
+    };
+    let base = ChaosSweep::smoke(spec);
+    let deadline_victim = SweepConfig {
+        deadline: Some(Duration::from_millis(1)),
+        ..base.sweep
+    };
+    let anti = ChaosSweep {
+        sweep: SweepConfig {
+            engine: EngineMode::Optimistic { workers: 2 },
+            faults: Some(FaultPlan::chaos(config.seed)),
+            check: CheckMode::On,
+            ..base.sweep
+        },
+        ..base.clone()
+    };
+    let empty = FaultScript::default();
+    let (expected_base, trace_base) =
+        run_reference(&base).map_err(|e| harness_failure("journal", 0, &empty, e.to_string()))?;
+    let (expected_anti, trace_anti) =
+        run_reference(&anti).map_err(|e| harness_failure("anti-loss", 0, &empty, e.to_string()))?;
+
+    // A two-shard fleet roughly doubles the op universe; the +8 keeps
+    // some scripts poking past the end (inert entries must stay inert).
+    let max_op = trace_base.len().max(trace_anti.len()) * 2 + 8;
+    let entries_gen = script_gen(max_op);
+
+    let mut identical = 0usize;
+    let mut refused = 0usize;
+    let mut stream = config.seed ^ 0x5b_a5_0c_4a_05_c4_a0_5eu64;
+    for trial in 0..config.trials {
+        let family = FAMILIES[trial % FAMILIES.len()];
+        let case_seed = spasm_prng::splitmix64(&mut stream);
+        let entries = entries_gen.generate(&mut TestRng::seed_from_u64(case_seed));
+        let script = FaultScript {
+            seed: case_seed,
+            faults: entries,
+        };
+        let verify = |s: &FaultScript| match family {
+            "journal" => verify_script(&base, &expected_base, s),
+            "shard-merge" => verify_shard_script(&base, 2, &expected_base, s),
+            "deadline" => verify_script_with(&base, &deadline_victim, &expected_base, s),
+            _ => verify_script(&anti, &expected_anti, s),
+        };
+        match verify(&script) {
+            Ok(CrashVerdict::Identical { .. }) => identical += 1,
+            Ok(CrashVerdict::Refused { .. }) => refused += 1,
+            Err(err) => {
+                let detail = err.to_string();
+                let prop = |entries: &Vec<(usize, Fault)>| {
+                    let s = FaultScript {
+                        seed: case_seed,
+                        faults: entries.clone(),
+                    };
+                    match verify(&s) {
+                        Err(e) => Err(e.to_string()),
+                        Ok(_) => Ok(()),
+                    }
+                };
+                let (min_entries, min_detail, steps) = minimize(
+                    &entries_gen,
+                    prop,
+                    script.faults.clone(),
+                    detail.clone(),
+                    config.shrink_budget,
+                );
+                return Err(Box::new(CampaignFailure {
+                    family,
+                    trial,
+                    script,
+                    detail,
+                    minimized: FaultScript {
+                        seed: case_seed,
+                        faults: min_entries,
+                    },
+                    minimized_detail: min_detail,
+                    shrink_steps: steps,
+                }));
+            }
+        }
+    }
+    Ok(CampaignOutcome {
+        trials: config.trials,
+        identical,
+        refused,
+    })
+}
+
+/// A demonstration (and regression anchor) of failure shrinking: the
+/// property "a resumed sweep replays *every* point from the journal"
+/// is deliberately falsifiable — any effective fault breaks it — so a
+/// three-fault script shrinks down to a single-entry minimal
+/// reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrinkDemo {
+    /// Points the sweep simulates (the replay target).
+    pub total_points: usize,
+    /// The seeded multi-fault script the demo starts from.
+    pub script: FaultScript,
+    /// Why the original script fails the replay-everything property.
+    pub detail: String,
+    /// The shrunk minimal script (expected: one entry).
+    pub minimized: FaultScript,
+    /// Why the minimized script still fails.
+    pub minimized_detail: String,
+    /// Shrink attempts spent.
+    pub shrink_steps: u32,
+}
+
+/// Builds a multi-fault script that provably breaks full replay —
+/// `ENOSPC` on the journal's very first write, a dropped fsync on its
+/// last sync, and a power cut at the final operation — then shrinks it
+/// against the replay-everything property. `seed` feeds the script's
+/// tear draws only, so the demo is fully deterministic.
+pub fn shrink_demo(seed: u64) -> Result<ShrinkDemo, ChaosError> {
+    let spec = figures::by_id("F1")
+        .ok_or_else(|| ChaosError::Harness("figure F1 is not registered".into()))?;
+    let cs = ChaosSweep::smoke(spec);
+    let (expected, trace) = run_reference(&cs)?;
+    let total = cs.total_points();
+    let last_sync = trace
+        .iter()
+        .rev()
+        .find(|t| t.kind == VfsOpKind::SyncFile)
+        .map(|t| t.index)
+        .ok_or_else(|| ChaosError::Harness("reference trace has no sync".into()))?;
+    let last_op = trace.len() - 1;
+    let script = FaultScript {
+        seed,
+        faults: vec![
+            (0, Fault::Enospc),
+            (last_sync, Fault::DropSync),
+            (last_op, Fault::Crash),
+        ],
+    };
+
+    let prop = |entries: &Vec<(usize, Fault)>| {
+        let s = FaultScript {
+            seed,
+            faults: entries.clone(),
+        };
+        match verify_script(&cs, &expected, &s) {
+            Ok(CrashVerdict::Identical { replayed }) if replayed == total => Ok(()),
+            Ok(CrashVerdict::Identical { replayed }) => Err(format!(
+                "resume re-simulated {} of {total} points instead of replaying them",
+                total - replayed
+            )),
+            Ok(CrashVerdict::Refused { error }) => Err(format!("resume refused: {error}")),
+            Err(err) => Err(err.to_string()),
+        }
+    };
+    let detail = match prop(&script.faults) {
+        Err(detail) => detail,
+        Ok(()) => {
+            return Err(ChaosError::Harness(
+                "the demo script unexpectedly passed the replay-everything property".into(),
+            ))
+        }
+    };
+    let (min_entries, minimized_detail, shrink_steps) = minimize(
+        &script_gen(trace.len()),
+        prop,
+        script.faults.clone(),
+        detail.clone(),
+        300,
+    );
+    Ok(ShrinkDemo {
+        total_points: total,
+        script,
+        detail,
+        minimized: FaultScript {
+            seed,
+            faults: min_entries,
+        },
+        minimized_detail,
+        shrink_steps,
+    })
+}

@@ -21,11 +21,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use spasm_apps::SizeClass;
-use spasm_journal::{Fingerprint, Journal, JournalError};
+use spasm_journal::{DirSyncWarning, Fingerprint, Journal, JournalError, RealVfs, Vfs};
 use spasm_machine::IntervalRecord;
 
 use crate::figures::FigureSpec;
@@ -181,8 +181,23 @@ impl SweepJournal {
         seed: u64,
         sweep: &SweepConfig,
     ) -> Result<SweepJournal, ResumeError> {
+        SweepJournal::create_with(Arc::new(RealVfs), path, spec, size, procs, seed, sweep)
+    }
+
+    /// [`SweepJournal::create`] on an explicit [`Vfs`] — the entry point
+    /// the chaos harness drives with a fault-scripted filesystem.
+    #[allow(clippy::too_many_arguments)] // mirrors create + the vfs
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        spec: &FigureSpec,
+        size: SizeClass,
+        procs: &[usize],
+        seed: u64,
+        sweep: &SweepConfig,
+    ) -> Result<SweepJournal, ResumeError> {
         let fp = sweep_fingerprint(spec, size, procs, seed, sweep);
-        let journal = Journal::create(path, fp)?;
+        let journal = Journal::create_with(vfs, path, fp)?;
         Ok(SweepJournal {
             inner: Mutex::new(Inner {
                 journal,
@@ -206,12 +221,27 @@ impl SweepJournal {
         seed: u64,
         sweep: &SweepConfig,
     ) -> Result<SweepJournal, ResumeError> {
+        SweepJournal::resume_with(Arc::new(RealVfs), path, spec, size, procs, seed, sweep)
+    }
+
+    /// [`SweepJournal::resume`] on an explicit [`Vfs`] — the recovery
+    /// entry point the chaos harness's crash-point oracle exercises.
+    #[allow(clippy::too_many_arguments)] // mirrors resume + the vfs
+    pub fn resume_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        spec: &FigureSpec,
+        size: SizeClass,
+        procs: &[usize],
+        seed: u64,
+        sweep: &SweepConfig,
+    ) -> Result<SweepJournal, ResumeError> {
         let path = path.as_ref();
-        if !path.exists() {
-            return SweepJournal::create(path, spec, size, procs, seed, sweep);
+        if !vfs.exists(path) {
+            return SweepJournal::create_with(vfs, path, spec, size, procs, seed, sweep);
         }
         let fp = sweep_fingerprint(spec, size, procs, seed, sweep);
-        let (journal, recovery) = Journal::open(path, fp)?;
+        let (journal, recovery) = Journal::open_with(vfs, path, fp)?;
         let mut replay = HashMap::new();
         for (index, record) in recovery.records.iter().enumerate() {
             let (machine, procs, point) =
@@ -247,6 +277,17 @@ impl SweepJournal {
             .io_error
             .as_ref()
             .map(|e| e.to_string())
+    }
+
+    /// Directory-sync failures accumulated over this journal's commits
+    /// (see [`spasm_journal::DirSyncWarning`]): the appends landed, but
+    /// their renames are not guaranteed to survive a power cut.
+    pub fn dir_sync_warning(&self) -> Option<DirSyncWarning> {
+        self.inner
+            .lock()
+            .expect("journal mutex poisoned: a journal append panicked")
+            .journal
+            .dir_sync_warning()
     }
 
     /// The journaled verdict for a point, if one exists. Failed points

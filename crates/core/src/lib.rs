@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 mod experiment;
 pub mod figures;
 pub mod journal;

@@ -35,7 +35,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use spasm_apps::SizeClass;
-use spasm_journal::{Journal, JournalError};
+use spasm_journal::{Journal, JournalError, RealVfs, Vfs};
 
 use crate::figures::FigureSpec;
 use crate::journal::{decode_point, sweep_fingerprint, ReplayPoint};
@@ -270,21 +270,39 @@ pub fn merge_shards(
     seed: u64,
     sweep: &SweepConfig,
 ) -> Result<MergeReport, ShardError> {
+    merge_shards_with(&RealVfs, dir, spec, size, procs, seed, sweep)
+}
+
+/// [`merge_shards`] on an explicit [`Vfs`] — the entry point the chaos
+/// harness drives against crashed, fault-scripted shard directories.
+#[allow(clippy::too_many_arguments)] // mirrors merge_shards + the vfs
+pub fn merge_shards_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    spec: &FigureSpec,
+    size: SizeClass,
+    procs: &[usize],
+    seed: u64,
+    sweep: &SweepConfig,
+) -> Result<MergeReport, ShardError> {
     let fp = sweep_fingerprint(spec, size, procs, seed, sweep);
 
-    // Discover this figure's shard files. Sorted by (count, index) so
-    // merge order — and thus quarantine reports and overlap attribution
-    // — is deterministic regardless of directory iteration order.
-    let mut files: Vec<(PathBuf, ShardSpec)> = std::fs::read_dir(dir)
+    // Discover this figure's shard files, ignoring stray non-shard
+    // entries (CSVs, notes, other figures' journals). Sorted by
+    // (count, index) so merge order — and thus quarantine reports and
+    // overlap attribution — is deterministic regardless of directory
+    // iteration order.
+    let mut files: Vec<(PathBuf, ShardSpec)> = vfs
+        .list_dir(dir)
         .map_err(|e| ShardError::Missing {
             dir: dir.to_path_buf(),
             figure: format!("{} ({e})", spec.id),
         })?
-        .filter_map(|entry| {
-            let entry = entry.ok()?;
-            let name = entry.file_name();
-            let (figure, shard) = ShardSpec::parse_file_name(name.to_str()?)?;
-            (figure == spec.id).then(|| (entry.path(), shard))
+        .into_iter()
+        .filter_map(|path| {
+            let name = path.file_name()?.to_str()?;
+            let (figure, shard) = ShardSpec::parse_file_name(name)?;
+            (figure == spec.id).then_some((path, shard))
         })
         .collect();
     files.sort_by_key(|&(_, s)| (s.count, s.index));
@@ -305,7 +323,7 @@ pub fn merge_shards(
     let mut shards_merged = 0usize;
     let mut duplicates = 0usize;
     for (path, _) in &files {
-        let recovery = match Journal::read(path, fp) {
+        let recovery = match Journal::read_with(vfs, path, fp) {
             Ok(r) => r,
             Err(JournalError::FingerprintMismatch {
                 expected, found, ..

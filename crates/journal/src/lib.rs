@@ -31,7 +31,13 @@
 //!   [`JournalError::FingerprintMismatch`] instead of resuming a sweep
 //!   under a different configuration.
 //!
-//! The crate is hermetic: `std` only.
+//! Every file operation flows through a [`Vfs`] ([`RealVfs`] by
+//! default), so the whole protocol can be exercised against the
+//! deterministic, fault-scripted in-memory filesystem ([`FaultVfs`])
+//! that powers the crash-consistency harness in `spasm-core::chaos` —
+//! see the [`vfs`] module docs.
+//!
+//! The crate is hermetic: `std` plus the in-tree `spasm-prng`.
 //!
 //! # Example
 //!
@@ -63,13 +69,14 @@
 #![warn(missing_docs)]
 
 mod crc64;
+pub mod vfs;
 
 pub use crc64::{crc64, Crc64};
+pub use vfs::{Fault, FaultScript, FaultVfs, RealVfs, TraceEntry, Vfs, VfsOpKind};
 
 use std::fmt;
-use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File magic: identifies a spasm journal and its format version (the
 /// trailing digit — a format change bumps it, and older files fail
@@ -240,6 +247,36 @@ pub struct Recovery {
     /// A nonzero value means the last append was torn by a crash and
     /// the journal was repaired to its longest valid prefix.
     pub truncated_bytes: usize,
+    /// Whether [`Journal::open`] removed an orphan sibling `.tmp` file
+    /// left behind by a crashed or failed commit. Always `false` from
+    /// [`Journal::read`], which never modifies anything (the temp file
+    /// may belong to a live writer mid-commit).
+    pub removed_orphan_tmp: bool,
+}
+
+/// Accumulated directory-sync failures on a journal (see
+/// [`Journal::dir_sync_warning`]). A failed `fsync` of the journal's
+/// parent directory does not fail the commit — the rename itself
+/// succeeded, and some platforms cannot fsync directories at all — but
+/// it does mean the rename could be lost to a power cut, so it is
+/// counted and surfaced instead of silently swallowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirSyncWarning {
+    /// How many commits failed to sync the parent directory.
+    pub failures: u64,
+    /// The most recent failure's rendering.
+    pub last_error: String,
+}
+
+impl fmt::Display for DirSyncWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} commit(s) could not sync the journal's parent directory \
+             (last error: {}); renames may not survive a power cut",
+            self.failures, self.last_error
+        )
+    }
 }
 
 /// Validates a journal image and scans its record frames, returning the
@@ -315,6 +352,7 @@ fn scan(
 /// for the format and the durability contract.
 #[derive(Debug)]
 pub struct Journal {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
     /// The full serialized journal (header + records). Source of truth
     /// for commits: every append rewrites the file from this buffer via
@@ -322,29 +360,56 @@ pub struct Journal {
     buf: Vec<u8>,
     records: usize,
     fingerprint: u64,
+    dir_sync_failures: u64,
+    last_dir_sync_error: Option<String>,
+}
+
+/// The sibling temp file a commit stages through: `<path>.tmp`.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut tmp = path.to_path_buf().into_os_string();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
 }
 
 impl Journal {
     /// Creates a new, empty journal at `path` with the given config
-    /// fingerprint.
+    /// fingerprint, on the real filesystem.
     ///
     /// # Errors
     ///
     /// [`JournalError::AlreadyExists`] if `path` exists (never clobbers
     /// a previous sweep's journal), or [`JournalError::Io`].
     pub fn create(path: impl AsRef<Path>, fingerprint: u64) -> Result<Journal, JournalError> {
+        Journal::create_with(Arc::new(RealVfs), path, fingerprint)
+    }
+
+    /// [`Journal::create`] on an explicit [`Vfs`]. An orphan sibling
+    /// `.tmp` file (a previous process's failed commit) is removed
+    /// best-effort before the first commit stages through it.
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        fingerprint: u64,
+    ) -> Result<Journal, JournalError> {
         let path = path.as_ref().to_path_buf();
-        if path.exists() {
+        if vfs.exists(&path) {
             return Err(JournalError::AlreadyExists { path });
+        }
+        let tmp = tmp_path(&path);
+        if vfs.exists(&tmp) {
+            let _ = vfs.remove_file(&tmp);
         }
         let mut buf = Vec::with_capacity(HEADER_LEN);
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&fingerprint.to_le_bytes());
-        let journal = Journal {
+        let mut journal = Journal {
+            vfs,
             path,
             buf,
             records: 0,
             fingerprint,
+            dir_sync_failures: 0,
+            last_dir_sync_error: None,
         };
         journal.commit()?;
         Ok(journal)
@@ -365,19 +430,39 @@ impl Journal {
         path: impl AsRef<Path>,
         expected_fingerprint: u64,
     ) -> Result<(Journal, Recovery), JournalError> {
+        Journal::open_with(Arc::new(RealVfs), path, expected_fingerprint)
+    }
+
+    /// [`Journal::open`] on an explicit [`Vfs`]. Taking ownership of a
+    /// journal also cleans up an orphan sibling `.tmp` file left by a
+    /// crashed or failed commit (reported via
+    /// [`Recovery::removed_orphan_tmp`]).
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        expected_fingerprint: u64,
+    ) -> Result<(Journal, Recovery), JournalError> {
         let path = path.as_ref().to_path_buf();
-        let buf = fs::read(&path).map_err(|error| JournalError::Io {
+        let buf = vfs.read(&path).map_err(|error| JournalError::Io {
             op: "read",
             path: path.clone(),
             error,
         })?;
         let (found, records, off) = scan(&path, &buf, expected_fingerprint)?;
+        // This open owns the journal now, so a leftover commit temp file
+        // is garbage from a dead writer: reclaim it. (Done only after
+        // the scan succeeds — a refused journal is left untouched.)
+        let tmp = tmp_path(&path);
+        let removed_orphan_tmp = vfs.exists(&tmp) && vfs.remove_file(&tmp).is_ok();
         let truncated_bytes = buf.len() - off;
         let mut journal = Journal {
+            vfs,
             path,
             buf,
             records: records.len(),
             fingerprint: found,
+            dir_sync_failures: 0,
+            last_dir_sync_error: None,
         };
         if truncated_bytes > 0 {
             journal.buf.truncate(off);
@@ -388,6 +473,7 @@ impl Journal {
             Recovery {
                 records,
                 truncated_bytes,
+                removed_orphan_tmp,
             },
         ))
     }
@@ -408,8 +494,19 @@ impl Journal {
         path: impl AsRef<Path>,
         expected_fingerprint: u64,
     ) -> Result<Recovery, JournalError> {
+        Journal::read_with(&RealVfs, path, expected_fingerprint)
+    }
+
+    /// [`Journal::read`] on an explicit [`Vfs`]. Like [`Journal::read`],
+    /// strictly read-only: no repair, and no orphan-temp cleanup (the
+    /// temp file may belong to a live writer mid-commit).
+    pub fn read_with(
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+        expected_fingerprint: u64,
+    ) -> Result<Recovery, JournalError> {
         let path = path.as_ref().to_path_buf();
-        let buf = fs::read(&path).map_err(|error| JournalError::Io {
+        let buf = vfs.read(&path).map_err(|error| JournalError::Io {
             op: "read",
             path: path.clone(),
             error,
@@ -418,6 +515,7 @@ impl Journal {
         Ok(Recovery {
             records,
             truncated_bytes: buf.len() - off,
+            removed_orphan_tmp: false,
         })
     }
 
@@ -458,27 +556,36 @@ impl Journal {
         &self.path
     }
 
+    /// Directory-sync failures accumulated over this journal's commits,
+    /// or `None` if every commit's parent-directory fsync succeeded.
+    /// A warning, not an error: the commits themselves landed, but
+    /// their renames are not guaranteed to survive a power cut.
+    pub fn dir_sync_warning(&self) -> Option<DirSyncWarning> {
+        self.last_dir_sync_error.as_ref().map(|e| DirSyncWarning {
+            failures: self.dir_sync_failures,
+            last_error: e.clone(),
+        })
+    }
+
     /// Writes the in-memory journal image to a sibling temp file,
     /// fsyncs it, and atomically renames it over the live path, so the
-    /// on-disk journal is always a complete, valid prefix.
-    fn commit(&self) -> Result<(), JournalError> {
+    /// on-disk journal is always a complete, valid prefix. A failed
+    /// parent-directory sync does not fail the commit (not every
+    /// platform can fsync a directory) but is counted and surfaced via
+    /// [`Journal::dir_sync_warning`].
+    fn commit(&mut self) -> Result<(), JournalError> {
         let io = |op: &'static str| {
             let path = self.path.clone();
             move |error| JournalError::Io { op, path, error }
         };
-        let mut tmp = self.path.clone().into_os_string();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        let mut f = fs::File::create(&tmp).map_err(io("create"))?;
-        f.write_all(&self.buf).map_err(io("write"))?;
-        f.sync_all().map_err(io("sync"))?;
-        drop(f);
-        fs::rename(&tmp, &self.path).map_err(io("commit"))?;
-        // Best-effort directory sync so the rename itself is durable;
-        // not all platforms support fsync on directories.
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
+        let tmp = tmp_path(&self.path);
+        self.vfs.write(&tmp, &self.buf).map_err(io("write"))?;
+        self.vfs.sync_file(&tmp).map_err(io("sync"))?;
+        self.vfs.rename(&tmp, &self.path).map_err(io("commit"))?;
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(error) = self.vfs.sync_dir(dir) {
+                self.dir_sync_failures += 1;
+                self.last_dir_sync_error = Some(error.to_string());
             }
         }
         Ok(())
@@ -488,6 +595,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn scratch(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("spasm-journal-unit");
@@ -650,6 +758,146 @@ mod tests {
         let (_, rec) = Journal::open(&path, 9).unwrap();
         assert_eq!(rec.records, vec![b"a".to_vec(), b"c".to_vec()]);
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_cleans_up_an_orphan_commit_temp_file() {
+        // A failed commit leaks `<path>.tmp`; taking ownership of the
+        // journal again must reclaim it.
+        let path = scratch("orphan.journal");
+        let mut j = Journal::create(&path, 4).unwrap();
+        j.append(b"kept").unwrap();
+        drop(j);
+        let tmp = tmp_path(&path);
+        fs::write(&tmp, b"leaked by a dead writer").unwrap();
+
+        let (_, rec) = Journal::open(&path, 4).unwrap();
+        assert!(rec.removed_orphan_tmp);
+        assert!(!tmp.exists(), "open must reclaim the orphan temp file");
+        assert_eq!(rec.records, vec![b"kept".to_vec()]);
+
+        // A clean open reports no cleanup.
+        let (_, rec) = Journal::open(&path, 4).unwrap();
+        assert!(!rec.removed_orphan_tmp);
+
+        // A refused open leaves the orphan alone.
+        fs::write(&tmp, b"leaked again").unwrap();
+        assert!(Journal::open(&path, 5).is_err());
+        assert!(tmp.exists(), "a refused open must not touch anything");
+
+        // Create (after the stale journal is explicitly removed)
+        // reclaims it too.
+        fs::remove_file(&path).unwrap();
+        Journal::create(&path, 4).unwrap();
+        assert!(!tmp.exists(), "create must reclaim the orphan temp file");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_never_cleans_up_the_commit_temp_file() {
+        let path = scratch("orphan-ro.journal");
+        Journal::create(&path, 4).unwrap();
+        let tmp = tmp_path(&path);
+        fs::write(&tmp, b"a live writer may own this").unwrap();
+        let rec = Journal::read(&path, 4).unwrap();
+        assert!(!rec.removed_orphan_tmp);
+        assert!(tmp.exists(), "read is strictly read-only");
+        fs::remove_file(&tmp).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn degenerate_files_fail_typed_or_recover_cleanly() {
+        // Zero-length file: not a journal.
+        let path = scratch("zero-len.journal");
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            Journal::read(&path, 0),
+            Err(JournalError::NotAJournal { .. })
+        ));
+        assert!(matches!(
+            Journal::open(&path, 0),
+            Err(JournalError::NotAJournal { .. })
+        ));
+
+        // A bare header (magic + fingerprint, zero records) is a valid,
+        // empty journal.
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&9u64.to_le_bytes());
+        fs::write(&path, &header).unwrap();
+        let rec = Journal::read(&path, 9).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.truncated_bytes, 0);
+
+        // A header truncated mid-fingerprint is not a journal.
+        fs::write(&path, &header[..HEADER_LEN - 3]).unwrap();
+        assert!(matches!(
+            Journal::read(&path, 9),
+            Err(JournalError::NotAJournal { .. })
+        ));
+
+        // Header plus one torn record: every truncation point of the
+        // only record is tolerated by read and repaired by open.
+        let full = {
+            let _ = fs::remove_file(&path);
+            let mut j = Journal::create(&path, 9).unwrap();
+            j.append(b"the only record").unwrap();
+            fs::read(&path).unwrap()
+        };
+        for cut in HEADER_LEN..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let rec = Journal::read(&path, 9).unwrap();
+            assert!(rec.records.is_empty(), "cut at {cut}");
+            assert_eq!(rec.truncated_bytes, cut - HEADER_LEN, "cut at {cut}");
+        }
+        let (_, rec) = Journal::open(&path, 9).unwrap();
+        assert!(rec.records.is_empty() && rec.truncated_bytes > 0);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_failures_are_counted_and_typed() {
+        // Scripted FailDirSync on both commits' sync_dir ops (create's
+        // op 3, append's op 7): the commits succeed, the warning counts.
+        let vfs = Arc::new(FaultVfs::new(FaultScript {
+            seed: 0,
+            faults: vec![(3, Fault::FailDirSync), (7, Fault::FailDirSync)],
+        }));
+        let path = PathBuf::from("/chaos/dirsync.journal");
+        let mut j = Journal::create_with(vfs.clone(), &path, 1).unwrap();
+        let w = j.dir_sync_warning().expect("first dir sync failed");
+        assert_eq!(w.failures, 1);
+        j.append(b"still lands").unwrap();
+        let w = j.dir_sync_warning().expect("second dir sync failed");
+        assert_eq!(w.failures, 2);
+        assert!(w.last_error.contains("simulated directory sync failure"));
+        assert!(w.to_string().contains("2 commit(s)"));
+
+        // And the cost is real: the un-synced rename does not survive a
+        // crash — the journal vanishes with its dirent.
+        vfs.reboot();
+        assert!(!vfs.exists(&path));
+
+        // A healthy journal carries no warning.
+        let vfs2: Arc<dyn Vfs> = Arc::new(FaultVfs::pristine());
+        let j2 = Journal::create_with(vfs2, &path, 1).unwrap();
+        assert!(j2.dir_sync_warning().is_none());
+    }
+
+    #[test]
+    fn journal_protocol_runs_unchanged_on_a_fault_vfs() {
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::pristine());
+        let path = PathBuf::from("/chaos/roundtrip.journal");
+        let mut j = Journal::create_with(vfs.clone(), &path, 11).unwrap();
+        j.append(b"one").unwrap();
+        j.append(b"two").unwrap();
+        drop(j);
+        let (j, rec) = Journal::open_with(vfs.clone(), &path, 11).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(j.records(), 2);
+        let rec = Journal::read_with(&*vfs, &path, 11).unwrap();
+        assert_eq!(rec.records[1], b"two");
     }
 
     #[test]

@@ -151,6 +151,39 @@ impl FaultPlan {
         }
     }
 
+    /// A randomized plan for chaos campaigns: every knob is drawn
+    /// deterministically from the seed (decorrelated via SplitMix64),
+    /// spanning near-quiet corners up to beyond-adversarial
+    /// intensities, and — unlike [`FaultPlan::adversarial`] — with the
+    /// speculation-ledger fault ([`FaultPlan::anti_loss_prob`]) in
+    /// play. Two calls with the same seed build the identical plan, so
+    /// a chaos trial's reference run and its crash-recovery replays
+    /// inject the same faults.
+    pub fn chaos(seed: u64) -> Self {
+        let mut s = seed ^ 0xc0a5_c0de_0b5e_55edu64;
+        let mut d = [0u64; 12];
+        for slot in &mut d {
+            *slot = spasm_prng::splitmix64(&mut s);
+        }
+        // Probabilities are drawn on a per-mille lattice so plans are
+        // exactly reproducible in decimal logs.
+        let prob = |raw: u64, ceiling_permille: u64| (raw % (ceiling_permille + 1)) as f64 / 1000.0;
+        FaultPlan {
+            seed,
+            delay_prob: prob(d[0], 150),
+            max_delay_ns: 500 + d[1] % 3_000,
+            dup_prob: prob(d[2], 100),
+            loss_prob: prob(d[3], 50),
+            retransmit_ns: 1_000 + d[4] % 4_000,
+            max_retransmits: 1 + (d[5] % 3) as u32,
+            stall_prob: prob(d[6], 50),
+            stall_ns: 1_000 + d[7] % 8_000,
+            retry_prob: prob(d[8], 150),
+            max_retries: 1 + (d[9] % 2) as u32,
+            anti_loss_prob: prob(d[10], 300),
+        }
+    }
+
     /// The same plan under a different seed, for retry-with-reseed: the
     /// salt is mixed in so successive attempts draw fresh decisions.
     pub fn reseeded(&self, salt: u64) -> Self {
@@ -419,6 +452,23 @@ mod tests {
         let hits = (0..1000).filter(|_| inj.anti_message_loss()).count();
         assert!(hits > 300 && hits < 700, "{hits} losses in 1000 rolls");
         assert_eq!(inj.counters.anti_losses, hits as u64);
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_bounded_and_seed_sensitive() {
+        let a = FaultPlan::chaos(7);
+        let b = FaultPlan::chaos(7);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::chaos(8));
+        for seed in 0..64 {
+            let p = FaultPlan::chaos(seed);
+            assert!(p.delay_prob <= 0.15 && p.loss_prob <= 0.05, "{p:?}");
+            assert!(p.anti_loss_prob <= 0.30, "{p:?}");
+            assert!(p.max_retransmits >= 1 && p.max_retries >= 1, "{p:?}");
+            assert!(p.max_delay_ns >= 500 && p.retransmit_ns >= 1_000, "{p:?}");
+        }
+        // The ledger fault must actually be in play for some seeds.
+        assert!((0..64).any(|s| FaultPlan::chaos(s).anti_loss_prob > 0.0));
     }
 
     #[test]

@@ -239,4 +239,34 @@ if ! cmp "$sdir/bsp.jsonl" "$sdir/bsp-j4.jsonl"; then
     exit 1
 fi
 
+# Chaos tier: the crash-consistency oracle on the in-memory FaultVfs.
+# --explore re-runs a journaled F1 sweep once per traced I/O operation
+# with a power cut injected there (plus a dropped-fsync torn-file
+# grid): every point must resume byte-identically or refuse typed —
+# the summary line literally asserts "0 divergent", and any pure power
+# cut that fails to resume exits 1. Then a seeded fuzz campaign across
+# the journal / shard-merge / deadline / anti-loss families, and a
+# shrinker demo that must reduce a 3-fault script to a minimal
+# reproducer.
+echo "==> chaos tier: crash-point explorer + seeded campaign + shrink demo"
+out=$(timeout 120 ./target/release/chaos --explore F1 2>/dev/null)
+if ! grep -q "0 divergent" <<< "$out"; then
+    echo "ERROR: chaos explorer did not report zero divergence:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+out=$(timeout 120 ./target/release/chaos --campaign --seed 1 --trials 8 \
+    2>/dev/null)
+if ! grep -q "0 divergent" <<< "$out"; then
+    echo "ERROR: chaos campaign did not report zero divergence:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+out=$(timeout 120 ./target/release/chaos --shrink-demo --seed 7 2>/dev/null)
+if ! grep -q "shrink-demo" <<< "$out"; then
+    echo "ERROR: chaos shrink demo failed:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
 echo "==> tier-1 green (total $((SECONDS))s)"

@@ -1,0 +1,112 @@
+//! Crash-consistency oracle, end to end: every I/O-operation crash
+//! point of a reference journaled sweep must either resume
+//! **byte-identically** or refuse with a **typed error naming the
+//! corruption** — zero silent divergence — and a failing chaos
+//! campaign must shrink to a minimal reproducing fault script.
+
+use spasm::core::chaos::{
+    explore_crash_points, run_campaign, shrink_demo, verify_script, CampaignConfig, ChaosSweep,
+    CrashVerdict,
+};
+use spasm::core::figures;
+use spasm::journal::{Fault, FaultScript};
+
+fn smoke() -> ChaosSweep {
+    ChaosSweep::smoke(figures::by_id("F1").expect("F1 is a defined figure"))
+}
+
+#[test]
+fn every_crash_point_resumes_byte_identically() {
+    let cs = smoke();
+    let report = explore_crash_points(&cs, 0).expect("zero divergence");
+    assert!(report.ops > 0, "the reference sweep must do I/O");
+    assert_eq!(report.crash_points, report.ops, "one power cut per op");
+    // A pure power cut can never corrupt the journal: the whole-file
+    // atomic-rename commit means the durable image is always the last
+    // fully committed one, so every crash point resumes identically.
+    assert_eq!(report.refused, 0, "{:?}", report.refusals);
+    assert_eq!(report.identical, report.crash_points);
+    // Coverage, not vacuity: early crashes leave nothing to replay,
+    // late crashes replay all but the in-flight point.
+    let total = cs.total_points();
+    assert_eq!(report.min_replayed, 0, "a crash before the first commit");
+    assert!(
+        report.max_replayed + 1 >= total,
+        "a crash at the last op must preserve nearly every point \
+         (replayed {} of {total})",
+        report.max_replayed
+    );
+}
+
+#[test]
+fn torn_journals_repair_or_refuse_but_never_diverge() {
+    let cs = smoke();
+    // Dropped fsync at every sync op × crash within the next 8 ops:
+    // the classic torn-file grid. Identical (torn-tail repair) and
+    // Refused (the tear destroyed the header — NotAJournal) are both
+    // lawful; divergence would have returned Err.
+    let report = explore_crash_points(&cs, 8).expect("zero divergence");
+    assert!(report.torn_points > 0, "the grid must cover some sync ops");
+    assert_eq!(report.refused_pure_crash, 0);
+    for (script, error) in &report.refusals {
+        assert!(
+            script.faults.iter().any(|&(_, f)| f == Fault::DropSync),
+            "only dropped-fsync scripts may refuse, got {script}"
+        );
+        assert!(
+            error.contains("not a spasm journal") || error.contains("corrupt"),
+            "a refusal must name the corruption: {error}"
+        );
+    }
+}
+
+#[test]
+fn single_fault_species_each_meet_the_oracle() {
+    let cs = smoke();
+    let (expected, trace) = spasm::core::chaos::run_reference(&cs).expect("reference run is clean");
+    let mid = trace.len() / 2;
+    for fault in [
+        Fault::FailDirSync,
+        Fault::FailRename,
+        Fault::Enospc,
+        Fault::ShortWrite,
+        Fault::DropSync,
+        Fault::TornWrite,
+        Fault::Crash,
+    ] {
+        let script = FaultScript {
+            seed: cs.seed,
+            faults: vec![(mid, fault)],
+        };
+        let verdict = verify_script(&cs, &expected, &script).expect("no divergence");
+        match verdict {
+            CrashVerdict::Identical { .. } => {}
+            CrashVerdict::Refused { ref error } => {
+                assert!(!error.is_empty(), "refusals carry a typed message");
+            }
+        }
+    }
+}
+
+#[test]
+fn a_seeded_campaign_passes_across_all_families() {
+    // One trial per family; the chaos ci tier runs the longer sweep.
+    let outcome = run_campaign(&CampaignConfig::new(0xC4A05, 4))
+        .unwrap_or_else(|failure| panic!("campaign failed: {failure}"));
+    assert_eq!(outcome.trials, 4);
+    assert_eq!(outcome.identical + outcome.refused, 4);
+}
+
+#[test]
+fn a_failing_campaign_shrinks_to_a_minimal_script() {
+    let demo = shrink_demo(0xD).expect("demo finds its failure");
+    assert_eq!(demo.script.faults.len(), 3, "the demo starts multi-fault");
+    assert_eq!(
+        demo.minimized.faults.len(),
+        1,
+        "the shrinker must reach a single-entry reproducer, got {}",
+        demo.minimized
+    );
+    assert!(demo.shrink_steps > 0);
+    assert!(!demo.minimized_detail.is_empty());
+}

@@ -278,3 +278,25 @@ fn an_empty_directory_is_a_typed_missing_error() {
     assert!(matches!(merge(&dir), Err(ShardError::Missing { .. })));
     fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+#[test]
+fn stray_non_shard_files_are_ignored_by_the_merge() {
+    let dir = scratch_dir();
+    for k in 1..=2 {
+        run_shard(&dir, ShardSpec::new(k, 2).expect("valid shard"));
+    }
+    // Clutter the directory with everything a real fleet directory
+    // accumulates: notes, CSV exports, a non-shard journal name, a
+    // different figure's shard (filled with garbage to prove it is
+    // never even opened), and a stray commit temp file.
+    fs::write(dir.join("README.txt"), b"fleet scratch dir").expect("write");
+    fs::write(dir.join("F1.csv"), b"proc,speedup\n2,1.0\n").expect("write");
+    fs::write(dir.join("F1.journal"), b"not a shard name").expect("write");
+    fs::write(dir.join("F9.shard-1-of-2.journal"), b"garbage bytes").expect("write");
+    fs::write(dir.join("F1.shard-1-of-2.journal.tmp"), b"torn commit").expect("write");
+    let report = merge(&dir).expect("merge succeeds despite strays");
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    assert_eq!(report.missing_points, 0);
+    assert_identical(&report);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
